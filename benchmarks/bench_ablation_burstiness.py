@@ -1,0 +1,65 @@
+"""Ablation: stressing the model's Poisson-arrival assumption.
+
+The model assumes Poisson request arrivals (assumption 2, citing the WAN
+session literature).  Real request streams are session-bursty.  This bench
+drives the Erlang-sized loss system with increasingly bursty
+session-structured arrivals at the same long-run rate and reports how far
+the measured loss drifts above the Erlang target — quantifying when the
+paper's sizing must be padded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.queueing.erlang import erlang_b, min_servers
+from repro.simulation.loss_network import simulate_loss_system
+from repro.workloads.sessions import (
+    SessionProfile,
+    generate_session_arrivals,
+    index_of_dispersion,
+)
+
+SERVICE_RATE = 1.0
+TARGET_B = 0.02
+REQUEST_RATE = 4.0
+HORIZON = 20_000.0
+
+
+def measured_loss(requests_per_session: float, seed: int = 31) -> tuple[float, float]:
+    """(index of dispersion, measured loss) at fixed long-run rate."""
+    rng = np.random.default_rng(seed)
+    profile = SessionProfile(
+        session_rate=REQUEST_RATE / requests_per_session,
+        requests_per_session=requests_per_session,
+        think_time=3.0,
+    )
+    arrivals = generate_session_arrivals(profile, HORIZON, rng)
+    servers = min_servers(REQUEST_RATE / SERVICE_RATE, TARGET_B)
+    result = simulate_loss_system(arrivals, 1.0 / SERVICE_RATE, servers, rng)
+    iod = index_of_dispersion(arrivals, HORIZON, 10.0)
+    return iod, result.loss_probability
+
+
+@pytest.mark.benchmark(group="ablation-burstiness")
+@pytest.mark.parametrize("burst", [1.0 + 1e-9, 5.0, 20.0],
+                         ids=["poisson", "short-sessions", "long-sessions"])
+def test_burstiness_vs_erlang(benchmark, burst):
+    iod, loss = benchmark.pedantic(
+        measured_loss, args=(burst,), rounds=1, iterations=1
+    )
+    servers = min_servers(REQUEST_RATE / SERVICE_RATE, TARGET_B)
+    erlang = erlang_b(servers, REQUEST_RATE / SERVICE_RATE)
+    if burst < 1.5:
+        # Poisson limit: Erlang sizing holds.
+        assert loss == pytest.approx(erlang, abs=0.015)
+        assert iod == pytest.approx(1.0, abs=0.3)
+    else:
+        # Bursty: dispersion > 1 and loss above the Erlang promise.
+        assert iod > 1.3
+        assert loss > erlang
+
+
+def test_burstiness_monotone():
+    """More requests per session -> higher dispersion -> higher loss."""
+    results = [measured_loss(b)[1] for b in (1.0 + 1e-9, 5.0, 20.0)]
+    assert results[0] < results[-1]

@@ -1,0 +1,32 @@
+"""Ablation: infinite-source (Erlang) vs finite-source (Engset) sizing.
+
+The paper sizes the DB tier with Erlang B, implicitly assuming infinitely
+many emulated browsers.  TPC-W populations are finite and self-throttle,
+so Erlang over-provisions when the EB count is comparable to the server
+count; this bench sweeps the population and reports both sizings.
+"""
+
+import pytest
+
+from repro.queueing.engset import engset_call_congestion, engset_min_servers
+from repro.queueing.erlang import min_servers
+
+RHO = 4.0   # nominal offered erlangs
+TARGET = 0.01
+
+
+def sizings(sources: int) -> tuple[int, int]:
+    a = RHO / (sources - RHO)
+    return min_servers(RHO, TARGET), engset_min_servers(sources, a, TARGET)
+
+
+@pytest.mark.benchmark(group="ablation-engset")
+@pytest.mark.parametrize("sources", [8, 16, 64, 1024], ids=lambda s: f"S{s}")
+def test_engset_vs_erlang_sizing(benchmark, sources):
+    erlang_n, engset_n = benchmark(sizings, sources)
+    assert engset_n <= erlang_n
+    if sources <= 16:
+        # Small populations: the finite-source correction saves machines.
+        assert engset_n < erlang_n
+    a = RHO / (sources - RHO)
+    assert engset_call_congestion(engset_n, sources, a) <= TARGET

@@ -1,0 +1,54 @@
+"""Ablation: the three Erlang-B evaluation strategies.
+
+DESIGN.md calls out the numerical design choice: the paper's O(n)
+recurrence versus the log-domain sum versus the continuous
+incomplete-gamma extension (O(log n) inversion).  All three must agree;
+the bench shows where each pays off.
+"""
+
+import pytest
+
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_b_continuous,
+    erlang_b_log,
+    min_servers,
+    min_servers_continuous,
+)
+
+CASES = [(8, 4.0), (100, 85.0), (2000, 1900.0)]
+
+
+@pytest.mark.benchmark(group="ablation-erlang")
+@pytest.mark.parametrize("n,rho", CASES, ids=["small", "medium", "large"])
+def test_recurrence(benchmark, n, rho):
+    value = benchmark(erlang_b, n, rho)
+    assert 0.0 < value < 1.0
+
+
+@pytest.mark.benchmark(group="ablation-erlang")
+@pytest.mark.parametrize("n,rho", CASES, ids=["small", "medium", "large"])
+def test_log_domain(benchmark, n, rho):
+    value = benchmark(erlang_b_log, n, rho)
+    assert value == pytest.approx(erlang_b(n, rho), rel=1e-8)
+
+
+@pytest.mark.benchmark(group="ablation-erlang")
+@pytest.mark.parametrize("n,rho", CASES, ids=["small", "medium", "large"])
+def test_continuous(benchmark, n, rho):
+    value = benchmark(erlang_b_continuous, n, rho)
+    assert value == pytest.approx(erlang_b(n, rho), rel=1e-6)
+
+
+@pytest.mark.benchmark(group="ablation-erlang-inversion")
+def test_linear_inversion_mega_load(benchmark):
+    n = benchmark(min_servers, 20_000.0, 0.01)
+    # Economy of scale: at 20k erlangs, 1% blocking needs slightly FEWER
+    # servers than erlangs (blocking trims the carried load).
+    assert 19_000 < n < 20_100
+
+
+@pytest.mark.benchmark(group="ablation-erlang-inversion")
+def test_bisection_inversion_mega_load(benchmark):
+    n = benchmark(min_servers_continuous, 20_000.0, 0.01)
+    assert n == min_servers(20_000.0, 0.01)

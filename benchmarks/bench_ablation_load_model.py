@@ -1,0 +1,51 @@
+"""Ablation: the paper's Eq. 4 arithmetic mixture vs the offered load.
+
+DESIGN.md documents that the paper's consolidated serving rate is an
+arithmetic mean of per-service rates (optimistic; it also lets an
+infinite-rate service erase a resource constraint), while the
+queueing-exact offered load is the harmonic mixture.  This bench sweeps
+workload scale and loss targets and reports how far apart the two sizings
+land — the quantitative price of the paper's simplification.
+"""
+
+import pytest
+
+from repro.core import UtilityAnalyticModel
+from repro.experiments.casestudy import case_study_inputs
+
+
+def sizing_gap(scale: float, b: float = 0.01) -> tuple[int, int]:
+    inputs = case_study_inputs(1200.0 * scale, 80.0 * scale, b)
+    paper = UtilityAnalyticModel(inputs, load_model="paper").solve()
+    offered = UtilityAnalyticModel(inputs, load_model="offered").solve()
+    return paper.consolidated_servers, offered.consolidated_servers
+
+
+@pytest.mark.benchmark(group="ablation-load-model")
+@pytest.mark.parametrize("scale", [0.5, 1.0, 2.0, 8.0], ids=lambda s: f"x{s}")
+def test_load_model_gap(benchmark, scale):
+    n_paper, n_offered = benchmark(sizing_gap, scale)
+    # The paper's model is never more conservative.
+    assert n_paper <= n_offered
+    # And the gap is material at the case-study operating point.
+    if scale == 1.0:
+        assert n_offered - n_paper >= 1
+
+
+@pytest.mark.benchmark(group="ablation-load-model")
+def test_gap_converges_to_load_ratio_at_scale(benchmark):
+    def compute():
+        return sizing_gap(64.0)
+
+    n_paper, n_offered = benchmark(compute)
+    # The two loads differ by a fixed factor (AM/HM of the rate mixture),
+    # so at scale the sizing ratio converges to the load ratio — the
+    # paper's optimism does NOT wash out with size.
+    from repro.core import ResourceKind
+    from repro.experiments.casestudy import case_study_inputs
+
+    inputs = case_study_inputs(1200.0 * 64.0, 80.0 * 64.0, 0.01)
+    load_ratio = inputs.consolidated_load(
+        ResourceKind.CPU, "paper"
+    ) / inputs.consolidated_load(ResourceKind.CPU, "offered")
+    assert n_paper / n_offered == pytest.approx(load_ratio, abs=0.1)

@@ -1,0 +1,15 @@
+"""Benchmark: model application 1 — on-demand allocation algorithm bound."""
+
+import pytest
+
+from repro.experiments.applications import run_allocation
+
+
+@pytest.mark.benchmark(group="app1")
+def test_app1_allocation_bound(benchmark):
+    result = benchmark.pedantic(
+        run_allocation, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    by_name = {r["controller"]: r["goodput_fraction"] for r in result.rows}
+    assert by_name["ideal_flow"] > by_name["static_partition"]
+    assert result.summary["optimal_improvement"] > 1.0

@@ -1,0 +1,11 @@
+"""Benchmark: model application 2 — ideal-hypervisor QoS ceiling."""
+
+import pytest
+
+from repro.experiments.applications import run_virtualization
+
+
+@pytest.mark.benchmark(group="app2")
+def test_app2_virtualization_bound(benchmark):
+    result = benchmark(run_virtualization, seed=1, fast=True)
+    assert result.summary["ideal_improvement"] >= result.summary["xen_improvement"] - 1e-6

@@ -1,0 +1,14 @@
+"""Benchmark: the five-service consolidation extension."""
+
+import pytest
+
+from repro.experiments.ext_multiservice import run as run_multiservice
+
+
+@pytest.mark.benchmark(group="ext-multiservice")
+def test_ext_multiservice(benchmark):
+    result = benchmark.pedantic(
+        run_multiservice, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["offered_sizing_meets_target"]
+    assert result.summary["infrastructure_saving_offered"] > 0.5

@@ -1,0 +1,12 @@
+"""Benchmark: the extension scale-analysis experiment."""
+
+import pytest
+
+from repro.experiments.ext_scale import run as run_ext_scale
+
+
+@pytest.mark.benchmark(group="ext-scale")
+def test_ext_scale(benchmark):
+    result = benchmark(run_ext_scale, seed=1, fast=True)
+    assert result.summary["multiplexing_strengthens"]
+    assert result.summary["paper_estimate_optimistic_everywhere"]

@@ -1,0 +1,14 @@
+"""Benchmark: the Poisson-assumption stress extension."""
+
+import pytest
+
+from repro.experiments.ext_wan import run as run_ext_wan
+
+
+@pytest.mark.benchmark(group="ext-wan")
+def test_ext_wan(benchmark):
+    result = benchmark.pedantic(
+        run_ext_wan, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["poisson_matches_erlang"]
+    assert result.summary["burstier_traffic_blocks_more"]

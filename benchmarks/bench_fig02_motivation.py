@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 2 — consolidation motivation traces."""
+
+import pytest
+
+from repro.experiments.fig02_motivation import run as run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_motivation(benchmark):
+    result = benchmark(run_fig2, seed=1, fast=True)
+    assert result.summary["peak_of_sum"] < result.summary["sum_of_peaks"]
+    assert (
+        result.summary["consolidated_servers_N"]
+        < result.summary["dedicated_servers_M"]
+    )

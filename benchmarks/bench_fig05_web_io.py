@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 5 — Web throughput sweep + disk-I/O impact regression."""
+
+import pytest
+
+from repro.experiments.fig05_web_io import run as run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_web_io(benchmark):
+    result = benchmark(run_fig5, seed=1, fast=True)
+    assert result.summary["fit_slope"] == pytest.approx(-0.012, abs=0.01)
+    assert result.summary["fit_intercept"] == pytest.approx(1.082, abs=0.05)
+    assert result.summary["bottleneck"] == "disk_io"

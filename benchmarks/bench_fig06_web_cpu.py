@@ -1,0 +1,13 @@
+"""Benchmark: Fig. 6 — CPU-bound Web sweep + impact regression."""
+
+import pytest
+
+from repro.experiments.fig06_web_cpu import run as run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_web_cpu(benchmark):
+    result = benchmark(run_fig6, seed=1, fast=True)
+    assert result.summary["fit_slope"] == pytest.approx(-0.039, abs=0.01)
+    assert result.summary["fit_intercept"] == pytest.approx(0.658, abs=0.05)
+    assert result.summary["native_over_1vm_peak"] > 1.3

@@ -1,0 +1,11 @@
+"""Benchmark: Fig. 7 — vCPU allocation and pinning effect on the DB VM."""
+
+import pytest
+
+from repro.experiments.fig07_vcpu_pinning import run as run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vcpu_pinning(benchmark):
+    result = benchmark(run_fig7, seed=1, fast=True)
+    assert result.summary["pinned_peak_wips"] > result.summary["floating_peak_wips"]

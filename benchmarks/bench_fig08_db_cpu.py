@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 8 — DB WIPS curves and the saturating impact factor."""
+
+import pytest
+
+from repro.experiments.fig08_db_cpu import run as run_fig8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_db_cpu(benchmark):
+    result = benchmark(run_fig8, seed=1, fast=True)
+    assert result.summary["software_bottleneck_confirmed"]
+    assert result.summary["fit_ceiling"] == pytest.approx(1.85, abs=0.15)

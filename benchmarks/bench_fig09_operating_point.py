@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 9 — operating-point selection curves."""
+
+import pytest
+
+from repro.experiments.fig09_operating_point import run as run_fig9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_operating_point(benchmark):
+    result = benchmark(run_fig9, seed=1, fast=True)
+    assert result.summary["db_selection_within_limit"]
+    assert result.summary["web_selection_within_limit"]

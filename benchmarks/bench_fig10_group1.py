@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 10 — Group 1 verification (6 dedicated vs 2/3/4 shared).
+
+Simulation-backed: run once (pedantic) and assert the paper's reading that
+three shared servers match six dedicated ones.
+"""
+
+import pytest
+
+from repro.experiments.fig10_group1 import run as run_fig10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_group1(benchmark):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["matches_model"]
+    assert result.summary["smallest_similar_N_measured"] == 3

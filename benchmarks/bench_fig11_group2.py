@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 11 — Group 2 verification (8 dedicated vs 4 shared)."""
+
+import pytest
+
+from repro.experiments.fig11_group2 import run as run_fig11
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_group2(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["qos_preserved"]
+    assert result.summary["cpu_util_improvement_measured"] > 1.5

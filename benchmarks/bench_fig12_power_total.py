@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 12 — total fleet power, busy and idle."""
+
+import pytest
+
+from repro.experiments.fig12_power_total import run as run_fig12
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_power_total(benchmark):
+    result = benchmark.pedantic(
+        run_fig12, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["power_saving_fraction"] == pytest.approx(0.53, abs=0.06)
+    assert result.summary["busy_increase_below_17pct"]

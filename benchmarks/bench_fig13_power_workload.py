@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 13 — workload-attributed power."""
+
+import pytest
+
+from repro.experiments.fig13_power_workload import run as run_fig13
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_power_workload(benchmark):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"seed": 1, "fast": True}, rounds=1, iterations=1
+    )
+    assert result.summary["workload_power_saving"] > 0.05
+    assert result.summary["total_power_saving"] > 0.4

@@ -1,0 +1,62 @@
+"""Benchmark: the Erlang fixed-point refinement of the Fig. 4 sizing.
+
+Three blocking estimates for the consolidated Group-2 pool at N=4:
+
+1. the paper's per-resource independent Erlang (optimistic Eq. 4 load);
+2. the reduced-load fixed point over the offered loads (this repo's
+   refinement);
+3. the discrete-event loss network (ground truth).
+
+The bench times (1) and (2) and asserts the accuracy ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ResourceKind, UtilityAnalyticModel
+from repro.experiments.casestudy import GROUP2
+from repro.queueing.erlang import erlang_b
+from repro.queueing.fixed_point import fixed_point_for_inputs
+from repro.simulation.datacenter import DataCenterSimulation
+
+CPU = ResourceKind.CPU
+N = 4
+
+
+@pytest.mark.benchmark(group="fixed-point")
+def test_paper_independent_erlang(benchmark):
+    def estimate():
+        inputs = GROUP2.inputs()
+        return max(
+            erlang_b(N, inputs.consolidated_load(r, "paper"))
+            for r in inputs.resources
+        )
+
+    value = benchmark(estimate)
+    assert value < 0.01  # the optimistic estimate meets the target on paper
+
+
+@pytest.mark.benchmark(group="fixed-point")
+def test_reduced_load_fixed_point(benchmark):
+    result = benchmark(fixed_point_for_inputs, GROUP2.inputs(), N)
+    assert result.converged
+    assert result.worst_service_loss > 0.01  # refinement exposes the gap
+
+
+@pytest.mark.benchmark(group="fixed-point")
+def test_fixed_point_tracks_simulation(benchmark):
+    def simulate():
+        sim = DataCenterSimulation(GROUP2.inputs())
+        return sim.run_consolidated(N, 400.0, np.random.default_rng(17))
+
+    measured = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    fp = fixed_point_for_inputs(GROUP2.inputs(), N)
+    sim_loss = max(measured.per_service_loss.values())
+    # The fixed point is within ~1.5 loss points of the DES; the paper's
+    # independent-Erlang estimate is ~4 points optimistic.
+    assert sim_loss == pytest.approx(fp.worst_service_loss, abs=0.015)
+    inputs = GROUP2.inputs()
+    paper_est = max(
+        erlang_b(N, inputs.consolidated_load(r, "paper")) for r in inputs.resources
+    )
+    assert abs(sim_loss - fp.worst_service_loss) < abs(sim_loss - paper_est)

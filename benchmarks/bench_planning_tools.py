@@ -1,0 +1,45 @@
+"""Benchmarks: the planning-layer extensions (dynamic, sensitivity, N+k).
+
+Times the tools an operator would run interactively, guarding against
+regressions that would make the planning loop sluggish.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.availability import ServerReliability, servers_with_redundancy
+from repro.core.dynamic import DynamicCapacityPlanner
+from repro.core.sensitivity import sensitivity_report
+from repro.experiments.casestudy import GROUP2, db_service, web_service
+
+
+@pytest.mark.benchmark(group="planning-tools")
+def test_dynamic_plan_24h(benchmark):
+    planner = DynamicCapacityPlanner(
+        [web_service(1.0), db_service(1.0)], loss_probability=0.01
+    )
+    hours = np.arange(24.0)
+    profile = [
+        {
+            "web": 300.0 + 900.0 * max(0.0, np.sin((h - 6.0) * np.pi / 12.0)),
+            "db": 20.0 + 60.0 * max(0.0, np.sin((h - 12.0) * np.pi / 12.0)),
+        }
+        for h in hours
+    ]
+    plan = benchmark(planner.plan, profile)
+    assert plan.energy_saving >= 0.0
+    assert plan.peak_servers >= 1
+
+
+@pytest.mark.benchmark(group="planning-tools")
+def test_sensitivity_tornado(benchmark):
+    report = benchmark(sensitivity_report, GROUP2.inputs(), 0.2)
+    assert report.baseline_n == 4
+    assert len(report.entries) == 9  # 2 lambdas + 3 mus + 3 impacts + B
+
+
+@pytest.mark.benchmark(group="planning-tools")
+def test_redundancy_sizing(benchmark):
+    rel = ServerReliability(mtbf=400.0, mttr=48.0)
+    fleet = benchmark(servers_with_redundancy, 8, rel, 0.999)
+    assert fleet > 8

@@ -1,0 +1,37 @@
+"""Benchmark: the CPU-utilization-improvement claim (Section IV.C.2).
+
+Paper: measured 1.7x vs model 1.5x for Group 2.  Our busy-time accounting
+predicts ~2.5x and the simulation confirms it (see EXPERIMENTS.md); the
+bench asserts model/simulation agreement and times both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ResourceKind, UtilityAnalyticModel, utilization_report
+from repro.experiments.casestudy import GROUP2
+from repro.simulation.datacenter import DataCenterSimulation
+
+
+@pytest.mark.benchmark(group="utilization")
+def test_model_utilization_ratio(benchmark):
+    def compute():
+        solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+        return utilization_report(solution)
+
+    report = benchmark(compute)
+    assert report.resource(ResourceKind.CPU).improvement > 1.5
+
+
+@pytest.mark.benchmark(group="utilization")
+def test_simulated_utilization_ratio(benchmark):
+    def simulate():
+        sim = DataCenterSimulation(GROUP2.inputs())
+        rng = np.random.default_rng(5)
+        return sim.run_case_study(GROUP2.island_sizes, 4, 120.0, rng)
+
+    case = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    measured = case.utilization_improvement(ResourceKind.CPU)
+    solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+    predicted = utilization_report(solution).resource(ResourceKind.CPU).improvement
+    assert measured == pytest.approx(predicted, rel=0.2)

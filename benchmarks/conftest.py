@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (table/figure) or one
+ablation and asserts its headline shape before timing it.  Expensive
+simulation-backed artifacts use ``benchmark.pedantic`` with a single round
+so the suite stays runnable in CI; the analytic ones benchmark normally.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20090101)
+
+
+def pytest_configure(config):
+    # The benchmarks directory is not in testpaths; when invoked as
+    # `pytest benchmarks/ --benchmark-only` this keeps output grouped.
+    config.option.benchmark_group_by = "group"

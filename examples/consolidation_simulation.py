@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate the analytic plan against the discrete-event simulator.
+
+The paper validated its model on a physical Xen testbed; this example does
+the same against the loss-network data-center simulation: build both
+deployments the model sized, drive them with Poisson traffic, and compare
+measured loss probabilities, throughput, utilization and metered power.
+
+It also demonstrates the reproduction's main *finding about the model*:
+the paper's Eq. 4 arithmetic rate mixture is optimistic — at the model's N
+the measured loss sits above the target B, at the Erlang level implied by
+the offered (harmonic) load.  Plan with ``load_model="offered"`` when the
+loss target is a hard SLA.
+
+Run:  python examples/consolidation_simulation.py
+"""
+
+import numpy as np
+
+from repro import ResourceKind, UtilityAnalyticModel
+from repro.analysis.report import format_kv, format_table
+from repro.experiments.casestudy import GROUP2
+from repro.queueing.erlang import erlang_b
+from repro.simulation.datacenter import DataCenterSimulation
+
+HORIZON = 300.0  # simulated seconds
+CPU = ResourceKind.CPU
+
+inputs = GROUP2.inputs()
+solution = UtilityAnalyticModel(inputs).solve()
+print(
+    f"Model sizing: M = {solution.dedicated_servers} dedicated, "
+    f"N = {solution.consolidated_servers} consolidated "
+    f"(B = {inputs.loss_probability})"
+)
+
+sim = DataCenterSimulation(inputs)
+rng = np.random.default_rng(2009)
+case = sim.run_case_study(
+    GROUP2.island_sizes, solution.consolidated_servers, HORIZON, rng
+)
+
+rows = []
+for scenario in (case.dedicated, case.consolidated):
+    for service, loss in scenario.per_service_loss.items():
+        lo, hi = scenario.per_service_loss_ci[service]
+        rows.append(
+            {
+                "deployment": scenario.scenario,
+                "service": service,
+                "measured_loss": round(loss, 4),
+                "loss_95ci": f"[{lo:.4f}, {hi:.4f}]",
+                "throughput": round(scenario.per_service_throughput[service], 1),
+            }
+        )
+print()
+print(format_table(rows, title="Measured loss and throughput"))
+
+# Where does the consolidated loss actually sit?  Exactly at the Erlang
+# value of the OFFERED load — above the paper-mode prediction.
+n = solution.consolidated_servers
+paper_pred = erlang_b(n, inputs.consolidated_load(CPU, "paper"))
+offered_pred = erlang_b(n, inputs.consolidated_load(CPU, "offered"))
+measured = max(case.consolidated.per_service_loss.values())
+print()
+print(
+    format_kv(
+        {
+            "paper-mode Erlang prediction": f"{paper_pred:.4f}",
+            "offered-load Erlang prediction": f"{offered_pred:.4f}",
+            "measured (simulation)": f"{measured:.4f}",
+            "conservative N (load_model='offered')": UtilityAnalyticModel(
+                inputs, load_model="offered"
+            )
+            .solve()
+            .consolidated_servers,
+        },
+        title="Model optimism check (consolidated CPU)",
+    )
+)
+
+print()
+print(
+    format_kv(
+        {
+            "power saving (measured)": f"{case.power_saving:.1%}",
+            "workload power saving": f"{case.workload_power_saving:.1%}",
+            "CPU utilization improvement": f"{case.utilization_improvement(CPU):.2f}x",
+            "dedicated CPU utilization": f"{case.dedicated.per_resource_utilization[CPU]:.3f}",
+            "consolidated CPU utilization": f"{case.consolidated.per_resource_utilization[CPU]:.3f}",
+        },
+        title="Fleet-level effects (paper's headline claims)",
+    )
+)

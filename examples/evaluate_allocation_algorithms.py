@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Score resource-flowing algorithms against the model's optimal bound.
+
+Section III.B.4(1): give the consolidated pool the same number of machines
+and compare goodput ``(1-B)``; the analytic ratio is the ceiling for any
+on-demand resource allocation algorithm.  We run four controllers — a
+static partition, Rainbow-style priority flowing, proportional flowing
+with a reallocation tax, and the ideal flow — over anti-phase diurnal
+demand (web peaks while db rests, Fig. 2 style) and score each by the
+fraction of the optimal improvement it realises.
+
+Run:  python examples/evaluate_allocation_algorithms.py
+"""
+
+import numpy as np
+
+from repro import allocation_algorithm_bound, allocation_algorithm_score
+from repro.analysis.report import format_kv, format_table
+from repro.experiments.casestudy import GROUP2, MU_DB_CPU, MU_WEB_DISK_IO
+from repro.simulation.fluid import simulate_flow_control
+from repro.virtualization.rainbow import (
+    IdealFlow,
+    PriorityFlow,
+    ProportionalFlow,
+    StaticPartition,
+)
+
+inputs = GROUP2.inputs()
+bound = allocation_algorithm_bound(inputs)
+print(
+    format_kv(
+        {
+            "servers (M = N)": bound.servers,
+            "dedicated loss": f"{bound.dedicated_loss:.4f}",
+            "consolidated loss (optimal flowing)": f"{bound.consolidated_loss:.5f}",
+            "optimal goodput improvement": f"{bound.improvement:.3f}x",
+        },
+        title="Analytic bound (Section III.B.4, application 1)",
+    )
+)
+
+# Anti-phase bursty demands: the situation flowing exists for.
+rng = np.random.default_rng(11)
+periods = 1000
+phase = np.linspace(0.0, 8.0 * np.pi, periods)
+web_rate = inputs.service("web").arrival_rate * (1.0 + 0.8 * np.sin(phase)) * 1.8
+db_rate = inputs.service("db").arrival_rate * (1.0 - 0.8 * np.sin(phase)) * 1.8
+demands = {
+    "web": rng.poisson(web_rate) / (MU_WEB_DISK_IO * 0.8),
+    "db": rng.poisson(db_rate) / (MU_DB_CPU * 0.9),
+}
+capacity = float(bound.servers)
+
+controllers = {
+    "static 50/50 partition": StaticPartition(fractions={"web": 0.5, "db": 0.5}),
+    "priority (db first)": PriorityFlow(priority_order=("db", "web")),
+    "proportional, 2% realloc tax": ProportionalFlow(reallocation_tax=0.02),
+    "proportional, 10% realloc tax": ProportionalFlow(reallocation_tax=0.10),
+    "ideal flow (model assumption 4)": IdealFlow(),
+}
+
+baseline = simulate_flow_control(
+    StaticPartition(fractions={"web": 0.5, "db": 0.5}), demands, capacity
+).goodput_fraction
+
+rows = []
+for name, controller in controllers.items():
+    result = simulate_flow_control(controller, demands, capacity)
+    improvement = result.goodput_fraction / baseline
+    rows.append(
+        {
+            "controller": name,
+            "goodput": f"{result.goodput_fraction:.4f}",
+            "vs_static": f"{improvement:.3f}x",
+            "score_vs_bound": f"{allocation_algorithm_score(improvement, inputs):.2f}",
+        }
+    )
+print()
+print(format_table(rows, title="Controllers under anti-phase bursty demand"))
+print()
+print(
+    "The paper's rule: 'the more close the improvements in QoS introduced\n"
+    "by an on-demand resource allocation algorithm to such ratio of (1-B),\n"
+    "the better this resource allocation algorithm is.'"
+)

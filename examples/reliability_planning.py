@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Production hardening: redundancy, failure-aware loss, and sensitivity.
+
+The analytic model's N assumes every machine is healthy and every input is
+measured exactly.  This example layers the production concerns on top:
+
+1. *N + k redundancy* — how many machines to rack so that, despite
+   failures (MTBF/MTTR), at least N are up with 99.9% assurance;
+2. *failure-aware loss* — the expected request loss once the fleet's
+   availability is folded into the Erlang analysis;
+3. *sensitivity* — which measured inputs (rates, impact factors, B) the
+   plan actually depends on, so measurement effort goes where it matters.
+
+Run:  python examples/reliability_planning.py
+"""
+
+from repro import UtilityAnalyticModel
+from repro.analysis.report import format_kv, format_table
+from repro.cluster import (
+    ServerReliability,
+    expected_loss_with_failures,
+    fleet_up_probability,
+    servers_with_redundancy,
+)
+from repro.core import ResourceKind, sensitivity_report
+from repro.experiments.casestudy import GROUP2
+
+inputs = GROUP2.inputs()
+solution = UtilityAnalyticModel(inputs, load_model="offered").solve()
+n = solution.consolidated_servers
+cpu_load = inputs.consolidated_load(ResourceKind.CPU, "offered")
+print(f"Load sizing (offered mode): N = {n} consolidated servers\n")
+
+# ---------------------------------------------------------------- N + k --
+commodity = ServerReliability(mtbf=4380.0, mttr=8.0)    # decent hardware
+salvage = ServerReliability(mtbf=400.0, mttr=48.0)      # scavenged fleet
+
+rows = []
+for label, rel in (("commodity", commodity), ("salvage", salvage)):
+    fleet = servers_with_redundancy(n, rel, assurance=0.999)
+    rows.append(
+        {
+            "hardware": label,
+            "availability": round(rel.availability, 4),
+            "fleet_n_plus_k": fleet,
+            "spares_k": fleet - n,
+            "P(>=N up)": round(fleet_up_probability(fleet, n, rel), 5),
+            "E[loss] bare N": round(expected_loss_with_failures(n, cpu_load, rel), 4),
+            "E[loss] with k": round(
+                expected_loss_with_failures(fleet, cpu_load, rel), 4
+            ),
+        }
+    )
+print(format_table(rows, title="N + k redundancy at 99.9% assurance"))
+print()
+
+# ------------------------------------------------------------ sensitivity --
+report = sensitivity_report(inputs, delta=0.2, load_model="offered")
+print(
+    format_table(
+        report.rows(),
+        title="Sensitivity of N to +/-20% input error (offered mode)",
+    )
+)
+print()
+print(
+    format_kv(
+        {
+            "baseline N": report.baseline_n,
+            "robust inputs (no swing at +/-20%)": ", ".join(
+                report.robust_parameters
+            ) or "(none)",
+        },
+        title="Where to spend measurement effort",
+    )
+)

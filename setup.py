@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs (which build a wheel) cannot run; keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro`` (the planning CLI)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,102 @@
+"""Sequential run-length control for simulations.
+
+Fixed-horizon simulation either wastes time (horizon too long) or delivers
+sloppy estimates (too short).  The standard remedy is sequential
+estimation: keep extending the run until the confidence interval of the
+target statistic is tight enough.  This module implements that loop for
+any replication-style estimator — the experiment harness's ``--full`` mode
+uses it to choose horizons honestly instead of hard-coding them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["SequentialEstimate", "run_until_precise"]
+
+
+@dataclass(frozen=True)
+class SequentialEstimate:
+    """Converged (or budget-capped) sequential estimate."""
+
+    mean: float
+    half_width: float
+    replications: int
+    converged: bool
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    @property
+    def relative_precision(self) -> float:
+        """Half-width over |mean| (inf when the mean is ~0)."""
+        if abs(self.mean) < 1e-300:
+            return math.inf
+        return self.half_width / abs(self.mean)
+
+
+def run_until_precise(
+    replicate: Callable[[int], float],
+    rel_precision: float = 0.05,
+    abs_precision: float | None = None,
+    confidence: float = 0.95,
+    min_replications: int = 5,
+    max_replications: int = 200,
+) -> SequentialEstimate:
+    """Replicate until the CI half-width meets the precision target.
+
+    Parameters
+    ----------
+    replicate:
+        ``replicate(i) -> float`` runs replication ``i`` (the index is the
+        caller's seed hook) and returns the statistic.
+    rel_precision:
+        Target half-width relative to the running mean.  Ignored when the
+        mean is ~0 — supply ``abs_precision`` for near-zero statistics
+        (e.g. loss probabilities around 1e-3).
+    abs_precision:
+        Optional absolute half-width target; satisfying *either* target
+        stops the loop.
+    """
+    if not 0.0 < rel_precision < 1.0:
+        raise ValueError(f"rel_precision must lie in (0, 1), got {rel_precision}")
+    if abs_precision is not None and abs_precision <= 0.0:
+        raise ValueError(f"abs_precision must be positive, got {abs_precision}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if min_replications < 2:
+        raise ValueError(f"need at least 2 replications, got {min_replications}")
+    if max_replications < min_replications:
+        raise ValueError("max_replications must be >= min_replications")
+
+    values: list[float] = []
+    for i in range(max_replications):
+        values.append(float(replicate(i)))
+        n = len(values)
+        if n < min_replications:
+            continue
+        arr = np.asarray(values)
+        mean = float(arr.mean())
+        se = float(arr.std(ddof=1)) / math.sqrt(n)
+        t = float(sps.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+        half = t * se
+        ok_abs = abs_precision is not None and half <= abs_precision
+        ok_rel = abs(mean) > 1e-300 and half <= rel_precision * abs(mean)
+        if ok_abs or ok_rel:
+            return SequentialEstimate(
+                mean=mean, half_width=half, replications=n, converged=True
+            )
+    arr = np.asarray(values)
+    n = len(values)
+    mean = float(arr.mean())
+    se = float(arr.std(ddof=1)) / math.sqrt(n) if n > 1 else float("inf")
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=max(n - 1, 1)))
+    return SequentialEstimate(
+        mean=mean, half_width=t * se, replications=n, converged=False
+    )

@@ -1,0 +1,80 @@
+"""Regression utilities used by the impact-factor analysis.
+
+The paper fits its measured impact factors with linear regression (Figs.
+5b/6b) and a saturating curve (Fig. 8b).  Beyond the fits themselves
+(delegated to :mod:`repro.virtualization.impact` for the model objects),
+experiments need goodness-of-fit numbers and prediction helpers, which live
+here so the benches can report R^2 alongside the recovered coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_line", "r_squared", "residuals"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "+" if self.intercept >= 0 else "-"
+        return (
+            f"y = {self.slope:.4f} x {sign} {abs(self.intercept):.4f}"
+            f"  (R^2 = {self.r2:.4f}, n = {self.n})"
+        )
+
+
+def fit_line(x, y) -> LinearFit:
+    """OLS fit with R^2, via the normal equations on a 2-column design."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.ndim != 1 or xa.shape != ya.shape or xa.size < 2:
+        raise ValueError("need matching 1-D arrays with at least two points")
+    design = np.column_stack([xa, np.ones_like(xa)])
+    coef, *_ = np.linalg.lstsq(design, ya, rcond=None)
+    slope, intercept = float(coef[0]), float(coef[1])
+    pred = slope * xa + intercept
+    return LinearFit(
+        slope=slope,
+        intercept=intercept,
+        r2=r_squared(ya, pred),
+        n=int(xa.size),
+    )
+
+
+def r_squared(observed, predicted) -> float:
+    """Coefficient of determination; 1.0 for a perfect fit.
+
+    Degenerate (zero-variance) observations yield 1.0 when matched exactly
+    and 0.0 otherwise, avoiding a 0/0.
+    """
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.shape != pred.shape or obs.ndim != 1 or obs.size == 0:
+        raise ValueError("need matching non-empty 1-D arrays")
+    ss_res = float(((obs - pred) ** 2).sum())
+    ss_tot = float(((obs - obs.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def residuals(observed, predicted) -> np.ndarray:
+    """Observed minus predicted, as a plain array."""
+    obs = np.asarray(observed, dtype=float)
+    pred = np.asarray(predicted, dtype=float)
+    if obs.shape != pred.shape:
+        raise ValueError("arrays must align")
+    return obs - pred

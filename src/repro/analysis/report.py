@@ -1,0 +1,93 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+Every bench regenerates a paper table or figure; since this is a terminal
+library, "regenerating a figure" means printing its data series in a
+readable aligned layout.  One renderer keeps all experiment output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    ``columns`` fixes order and selection; defaults to the union of keys in
+    first-seen order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        cols: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+    else:
+        cols = list(columns)
+    rendered = [[_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[float],
+    series: Mapping[str, Iterable[float]],
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one x-axis against several named y-series (a printed figure)."""
+    xs = np.asarray(list(x), dtype=float)
+    table_rows = []
+    data = {name: np.asarray(list(ys), dtype=float) for name, ys in series.items()}
+    for name, ys in data.items():
+        if ys.shape != xs.shape:
+            raise ValueError(f"series {name!r} does not match the x grid")
+    for i, xv in enumerate(xs):
+        row: dict[str, object] = {x_label: float(xv)}
+        for name, ys in data.items():
+            row[name] = float(ys[i])
+        table_rows.append(row)
+    return format_table(table_rows, columns=[x_label, *data], title=title)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Aligned key/value block for scalar summaries."""
+    if not pairs:
+        return (title + "\n" if title else "") + "(empty)"
+    width = max(len(k) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Statistical helpers for simulation output analysis.
+
+Simulation measurements are autocorrelated (a busy period spans many
+requests), so naive per-observation CIs understate the error.  The batch-
+means method — the standard workhorse for steady-state simulation output —
+plus a couple of distribution checks used by the generator tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["BatchMeansResult", "batch_means", "exponential_ks_test", "poisson_dispersion"]
+
+
+@dataclass(frozen=True)
+class BatchMeansResult:
+    """Mean estimate with a batch-means confidence interval."""
+
+    mean: float
+    half_width: float
+    batches: int
+    batch_size: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    def contains(self, value: float) -> bool:
+        lo, hi = self.interval
+        return lo <= value <= hi
+
+
+def batch_means(
+    observations, batches: int = 20, confidence: float = 0.95
+) -> BatchMeansResult:
+    """Batch-means CI for the steady-state mean of a correlated series.
+
+    Splits the series into ``batches`` contiguous batches, treats batch
+    averages as approximately iid normal, and builds a Student-t interval.
+    Observations that do not divide evenly lose their tail remainder.
+    """
+    obs = np.asarray(observations, dtype=float)
+    if obs.ndim != 1:
+        raise ValueError("observations must be 1-D")
+    if batches < 2:
+        raise ValueError(f"need at least 2 batches, got {batches}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    batch_size = obs.size // batches
+    if batch_size < 1:
+        raise ValueError(
+            f"too few observations ({obs.size}) for {batches} batches"
+        )
+    trimmed = obs[: batch_size * batches].reshape(batches, batch_size)
+    means = trimmed.mean(axis=1)
+    grand = float(means.mean())
+    if batches > 1:
+        se = float(means.std(ddof=1)) / math.sqrt(batches)
+    else:  # pragma: no cover - guarded above
+        se = 0.0
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=batches - 1))
+    return BatchMeansResult(
+        mean=grand, half_width=t * se, batches=batches, batch_size=batch_size
+    )
+
+
+def exponential_ks_test(samples, rate: float) -> float:
+    """KS-test p-value for samples against Exponential(rate).
+
+    Used to verify the Poisson generators' interarrival gaps.
+    """
+    if rate <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    result = sps.kstest(arr, "expon", args=(0.0, 1.0 / rate))
+    return float(result.pvalue)
+
+
+def poisson_dispersion(counts) -> float:
+    """Index of dispersion (variance/mean) of count data.
+
+    ~1 for Poisson counts; the trace tests use it to confirm the diurnal
+    generators are locally Poisson-like, and the MMPP-style burst tests to
+    confirm they are *not*.
+    """
+    arr = np.asarray(counts, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two counts")
+    mean = arr.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(arr.var(ddof=1) / mean)

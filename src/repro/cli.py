@@ -1,0 +1,220 @@
+"""Command-line consolidation planner (``repro-plan`` / ``python -m repro``).
+
+Feeds a JSON deployment description through the utility analytic model and
+prints the consolidation report — the tool an operator would actually run.
+
+JSON schema (see ``examples/deployment.json``)::
+
+    {
+      "loss_probability": 0.01,
+      "services": [
+        {
+          "name": "web",
+          "arrival_rate": 1200.0,
+          "service_rates": {"cpu": 3360.0, "disk_io": 1420.0},
+          "impact_factors": {"cpu": 0.65, "disk_io": 0.8},
+          "loss_probability": 0.001          # optional per-service SLA
+        },
+        ...
+      ],
+      "power": {"base_watts": 250.0, "max_watts": 295.0},   # optional
+      "xen_idle_factor": 0.91,                               # optional
+      "xen_workload_factor": 0.70                            # optional
+    }
+
+Flags: ``--load-model {paper,offered}`` selects the Eq. 4 reading,
+``--json`` emits machine-readable output instead of the text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .core import (
+    ConsolidationPlanner,
+    ModelInputs,
+    ResourceKind,
+    ServerPowerModel,
+    ServiceSpec,
+    UtilityAnalyticModel,
+)
+from .core.multiqos import solve_with_targets
+
+__all__ = ["main", "parse_deployment"]
+
+
+class DeploymentError(ValueError):
+    """Raised for malformed deployment descriptions (exit code 2)."""
+
+
+def _resource(name: str) -> ResourceKind:
+    try:
+        return ResourceKind(name)
+    except ValueError:
+        valid = ", ".join(r.value for r in ResourceKind)
+        raise DeploymentError(
+            f"unknown resource {name!r}; valid kinds: {valid}"
+        ) from None
+
+
+def _service(entry: Mapping[str, Any]) -> tuple[ServiceSpec, float | None]:
+    for field in ("name", "arrival_rate", "service_rates"):
+        if field not in entry:
+            raise DeploymentError(f"service entry missing {field!r}: {entry}")
+    rates = {_resource(k): float(v) for k, v in entry["service_rates"].items()}
+    impacts = {
+        _resource(k): float(v)
+        for k, v in entry.get("impact_factors", {}).items()
+    }
+    try:
+        spec = ServiceSpec(
+            name=str(entry["name"]),
+            arrival_rate=float(entry["arrival_rate"]),
+            service_rates=rates,
+            impact_factors=impacts,
+        )
+    except (TypeError, ValueError) as exc:
+        raise DeploymentError(f"invalid service {entry.get('name')!r}: {exc}") from exc
+    target = entry.get("loss_probability")
+    return spec, (float(target) if target is not None else None)
+
+
+def parse_deployment(doc: Mapping[str, Any]):
+    """Validate a deployment document.
+
+    Returns ``(inputs, per_service_targets, planner)``.
+    """
+    if "services" not in doc or not doc["services"]:
+        raise DeploymentError("deployment must list at least one service")
+    if "loss_probability" not in doc:
+        raise DeploymentError("deployment must set loss_probability")
+    services = []
+    targets: dict[str, float] = {}
+    for entry in doc["services"]:
+        spec, target = _service(entry)
+        services.append(spec)
+        if target is not None:
+            targets[spec.name] = target
+    try:
+        inputs = ModelInputs(tuple(services), float(doc["loss_probability"]))
+    except ValueError as exc:
+        raise DeploymentError(str(exc)) from exc
+
+    power_doc = doc.get("power", {})
+    try:
+        power = ServerPowerModel(
+            base_watts=float(power_doc.get("base_watts", 250.0)),
+            max_watts=float(power_doc.get("max_watts", 295.0)),
+        )
+        planner = ConsolidationPlanner(
+            power_model=power,
+            xen_idle_factor=float(doc.get("xen_idle_factor", 1.0)),
+            xen_workload_factor=float(doc.get("xen_workload_factor", 1.0)),
+        )
+    except ValueError as exc:
+        raise DeploymentError(str(exc)) from exc
+    return inputs, targets, planner
+
+
+def _report_json(report, inputs, targets, load_model) -> dict:
+    out = {
+        "load_model": load_model,
+        "loss_probability": inputs.loss_probability,
+        "dedicated_servers": report.dedicated_servers,
+        "consolidated_servers": report.consolidated_servers,
+        "infrastructure_saving": report.infrastructure_saving,
+        "power_saving": report.power_saving,
+        "utilization_improvement": report.utilization_improvement,
+        "dedicated_breakdown": {
+            d.service.name: d.servers for d in report.solution.dedicated
+        },
+        "consolidated_bottleneck": (
+            str(report.solution.consolidated_bottleneck)
+            if report.solution.consolidated_bottleneck
+            else None
+        ),
+    }
+    if targets:
+        multi = solve_with_targets(inputs, targets, load_model)
+        out["per_service_targets"] = dict(multi.targets)
+        out["consolidated_servers_with_targets"] = multi.consolidated_servers
+        out["dedicated_servers_with_targets"] = multi.dedicated_servers
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Plan VM-based server consolidation with the utility analytic model.",
+    )
+    parser.add_argument("deployment", help="path to the deployment JSON file")
+    parser.add_argument(
+        "--load-model",
+        choices=("paper", "offered"),
+        default="paper",
+        help="Eq. 4 reading: the paper's arithmetic mixture, or the "
+        "conservative offered load (recommended for hard SLAs)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.deployment)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON in {path}: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        inputs, targets, planner = parse_deployment(doc)
+    except DeploymentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # The planner's report uses the requested load model for sizing.
+    solution = UtilityAnalyticModel(inputs, load_model=args.load_model).solve()
+    report = planner.plan(list(inputs.services), inputs.loss_probability)
+    if args.load_model == "offered":
+        # Re-plan under the conservative sizing for the headline numbers.
+        from .core.power import power_comparison
+        from .core.utilization import utilization_report
+
+        util = utilization_report(solution)
+        power = power_comparison(
+            solution,
+            power_model=planner.power_model,
+            xen_idle_factor=planner.xen_idle_factor,
+            xen_workload_factor=planner.xen_workload_factor,
+            utilization=util,
+        )
+        from .core.consolidation import ConsolidationReport
+
+        report = ConsolidationReport(solution=solution, utilization=util, power=power)
+
+    if args.json:
+        print(json.dumps(_report_json(report, inputs, targets, args.load_model), indent=2))
+    else:
+        print(report.to_text())
+        if targets:
+            multi = solve_with_targets(inputs, targets, args.load_model)
+            print()
+            print("  Per-service QoS targets:")
+            for name, b in multi.targets.items():
+                print(f"    {name:<12s} B = {b:g}")
+            print(
+                f"  Consolidated servers under targets: {multi.consolidated_servers}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

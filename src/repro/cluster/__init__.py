@@ -1,0 +1,47 @@
+"""Physical-infrastructure substrate: servers, pools, dispatchers, metering.
+
+- :mod:`repro.cluster.server` — normalized physical machines with linear
+  power models and on/off state;
+- :mod:`repro.cluster.pool` — fleet-level capacity/power queries and the
+  shrink/grow reconfiguration consolidation pays off through;
+- :mod:`repro.cluster.dispatcher` — LVS-style request dispatchers (the
+  paper uses round robin);
+- :mod:`repro.cluster.power_meter` — simulated electric parameter tester
+  separating idle from workload-attributed energy (Figs. 12–13).
+"""
+
+from .availability import (
+    ServerReliability,
+    expected_loss_with_failures,
+    fleet_up_probability,
+    servers_with_redundancy,
+)
+from .dispatcher import (
+    Dispatcher,
+    LeastConnectionsDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    WeightedRoundRobinDispatcher,
+    make_dispatcher,
+)
+from .pool import ServerPool
+from .power_meter import EnergyReading, PowerMeter, apply_platform_effect
+from .server import PhysicalServer
+
+__all__ = [
+    "PhysicalServer",
+    "ServerPool",
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "WeightedRoundRobinDispatcher",
+    "RandomDispatcher",
+    "LeastConnectionsDispatcher",
+    "make_dispatcher",
+    "PowerMeter",
+    "EnergyReading",
+    "apply_platform_effect",
+    "ServerReliability",
+    "fleet_up_probability",
+    "servers_with_redundancy",
+    "expected_loss_with_failures",
+]

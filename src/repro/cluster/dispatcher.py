@@ -1,0 +1,144 @@
+"""Request dispatchers (the testbed's LVS stand-in).
+
+The paper fronts both services with Linux Virtual Server using round robin.
+The simulation needs the same role: pick which backend (server or VM
+replica) receives each arriving request.  Besides round robin we provide
+the classic alternatives so the dispatcher ablation bench can show the
+loss-probability consequences of the choice.
+
+Dispatchers are deliberately oblivious to service time — they see only the
+backend set and (for least-connections) the in-flight counts supplied by
+the caller, mirroring what a real L4 balancer can observe.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Dispatcher",
+    "RoundRobinDispatcher",
+    "WeightedRoundRobinDispatcher",
+    "RandomDispatcher",
+    "LeastConnectionsDispatcher",
+    "make_dispatcher",
+]
+
+
+class Dispatcher(abc.ABC):
+    """Chooses a backend index for each incoming request."""
+
+    def __init__(self, backends: int):
+        if backends < 1:
+            raise ValueError(f"need at least one backend, got {backends}")
+        self.backends = backends
+
+    @abc.abstractmethod
+    def pick(self, in_flight: Sequence[int] | None = None) -> int:
+        """Index of the backend to receive the next request.
+
+        ``in_flight`` (current connection count per backend) is consulted
+        only by load-aware policies.
+        """
+
+    def _check_in_flight(self, in_flight: Sequence[int] | None) -> None:
+        if in_flight is not None and len(in_flight) != self.backends:
+            raise ValueError(
+                f"in_flight has {len(in_flight)} entries for {self.backends} backends"
+            )
+
+
+class RoundRobinDispatcher(Dispatcher):
+    """LVS ``rr``: strict rotation (the paper's configuration)."""
+
+    def __init__(self, backends: int):
+        super().__init__(backends)
+        self._next = 0
+
+    def pick(self, in_flight: Sequence[int] | None = None) -> int:
+        self._check_in_flight(in_flight)
+        chosen = self._next
+        self._next = (self._next + 1) % self.backends
+        return chosen
+
+
+class WeightedRoundRobinDispatcher(Dispatcher):
+    """LVS ``wrr``: rotation proportional to integer weights.
+
+    Uses the smooth-WRR algorithm (nginx-style): each round adds the weight
+    to a per-backend credit, picks the largest, then subtracts the total —
+    produces an evenly interleaved schedule rather than bursts.
+    """
+
+    def __init__(self, weights: Sequence[int]):
+        super().__init__(len(weights))
+        if any(w < 1 for w in weights):
+            raise ValueError(f"weights must be positive integers, got {list(weights)}")
+        self.weights = list(weights)
+        self._credits = [0] * len(weights)
+        self._total = sum(weights)
+
+    def pick(self, in_flight: Sequence[int] | None = None) -> int:
+        self._check_in_flight(in_flight)
+        for i, w in enumerate(self.weights):
+            self._credits[i] += w
+        chosen = max(range(self.backends), key=lambda i: self._credits[i])
+        self._credits[chosen] -= self._total
+        return chosen
+
+
+class RandomDispatcher(Dispatcher):
+    """Uniform random backend choice."""
+
+    def __init__(self, backends: int, rng: np.random.Generator | None = None):
+        super().__init__(backends)
+        self.rng = rng or np.random.default_rng()
+
+    def pick(self, in_flight: Sequence[int] | None = None) -> int:
+        self._check_in_flight(in_flight)
+        return int(self.rng.integers(0, self.backends))
+
+
+class LeastConnectionsDispatcher(Dispatcher):
+    """LVS ``lc``: pick the backend with the fewest in-flight requests.
+
+    Ties break round-robin so a fresh system does not hammer backend 0.
+    """
+
+    def __init__(self, backends: int):
+        super().__init__(backends)
+        self._tiebreak = 0
+
+    def pick(self, in_flight: Sequence[int] | None = None) -> int:
+        if in_flight is None:
+            raise ValueError("least-connections requires in_flight counts")
+        self._check_in_flight(in_flight)
+        best = min(in_flight)
+        candidates = [i for i, c in enumerate(in_flight) if c == best]
+        chosen = candidates[self._tiebreak % len(candidates)]
+        self._tiebreak += 1
+        return chosen
+
+
+def make_dispatcher(
+    policy: str,
+    backends: int,
+    weights: Sequence[int] | None = None,
+    rng: np.random.Generator | None = None,
+) -> Dispatcher:
+    """Factory keyed on LVS-style policy names: rr, wrr, lc, random."""
+    policy = policy.lower()
+    if policy == "rr":
+        return RoundRobinDispatcher(backends)
+    if policy == "wrr":
+        if weights is None:
+            raise ValueError("wrr requires weights")
+        return WeightedRoundRobinDispatcher(weights)
+    if policy == "lc":
+        return LeastConnectionsDispatcher(backends)
+    if policy == "random":
+        return RandomDispatcher(backends, rng)
+    raise ValueError(f"unknown dispatcher policy {policy!r} (rr|wrr|lc|random)")

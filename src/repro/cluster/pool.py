@@ -1,0 +1,134 @@
+"""Server pool: the fleet the planner sizes and the power meter watches."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..core.inputs import ResourceKind
+from ..core.power import ServerPowerModel
+from .server import PhysicalServer
+
+__all__ = ["ServerPool"]
+
+
+class ServerPool:
+    """An ordered collection of physical servers.
+
+    Provides fleet-level queries (total capacity, aggregate draw) and the
+    dynamic shrink/grow operation the energy-management literature the
+    paper cites performs ("dynamically reconfiguring the cluster to operate
+    with fewer nodes under light load").
+    """
+
+    def __init__(self, servers: Sequence[PhysicalServer]):
+        servers = list(servers)
+        if not servers:
+            raise ValueError("pool must contain at least one server")
+        names = [s.name for s in servers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate server names in pool: {names}")
+        self._servers = servers
+
+    @classmethod
+    def homogeneous(
+        cls,
+        count: int,
+        capacity: dict[ResourceKind, float] | None = None,
+        power_model: ServerPowerModel | None = None,
+        name_prefix: str = "node",
+    ) -> "ServerPool":
+        """Build a pool of ``count`` identical normalized servers."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        cap = capacity or {ResourceKind.CPU: 1.0, ResourceKind.DISK_IO: 1.0}
+        pm = power_model or ServerPowerModel()
+        return cls(
+            [
+                PhysicalServer(capacity=dict(cap), power_model=pm, name=f"{name_prefix}-{i}")
+                for i in range(count)
+            ]
+        )
+
+    # -- collection protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[PhysicalServer]:
+        return iter(self._servers)
+
+    def __getitem__(self, index: int) -> PhysicalServer:
+        return self._servers[index]
+
+    def by_name(self, name: str) -> PhysicalServer:
+        for s in self._servers:
+            if s.name == name:
+                return s
+        raise KeyError(f"no server named {name!r}")
+
+    # -- fleet queries ----------------------------------------------------------
+
+    @property
+    def powered_on(self) -> list[PhysicalServer]:
+        return [s for s in self._servers if s.powered_on]
+
+    def total_capacity(self, resource: ResourceKind) -> float:
+        """Aggregate powered-on capacity for one resource kind."""
+        return sum(s.capacity.get(resource, 0.0) for s in self.powered_on)
+
+    def total_draw(self) -> float:
+        """Instantaneous fleet power draw in watts."""
+        return sum(s.power_draw() for s in self._servers)
+
+    def total_idle_draw(self) -> float:
+        """Fleet draw if every powered-on machine idled."""
+        return sum(s.idle_draw() for s in self._servers)
+
+    def mean_utilization(self, resource: ResourceKind) -> float:
+        """Average utilization across powered-on servers (0 if none)."""
+        on = self.powered_on
+        if not on:
+            return 0.0
+        return sum(s.utilization(resource) for s in on) / len(on)
+
+    # -- reconfiguration ---------------------------------------------------------
+
+    def shrink_to(self, count: int) -> int:
+        """Power off servers beyond the first ``count`` powered-on ones.
+
+        Returns the number of machines switched off.  This is the
+        consolidation dividend: the model says N < M machines suffice, so
+        the operator powers the rest down.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        switched = 0
+        seen_on = 0
+        for s in self._servers:
+            if not s.powered_on:
+                continue
+            seen_on += 1
+            if seen_on > count:
+                s.power_off()
+                switched += 1
+        return switched
+
+    def grow_to(self, count: int) -> int:
+        """Power servers back on until ``count`` are running."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        switched = 0
+        on = len(self.powered_on)
+        for s in self._servers:
+            if on >= count:
+                break
+            if not s.powered_on:
+                s.power_on()
+                on += 1
+                switched += 1
+        return switched
+
+    def apply_uniform_load(self, resource: ResourceKind, utilization: float) -> None:
+        """Spread a fleet-level utilization evenly over powered-on servers."""
+        for s in self.powered_on:
+            s.set_utilization(resource, utilization)

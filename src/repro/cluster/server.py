@@ -1,0 +1,96 @@
+"""Physical server abstraction.
+
+A :class:`PhysicalServer` bundles the per-resource capacity of one machine
+(in normalized units, per the model's homogeneity assumption) with its
+power model and an on/off state.  The paper's energy-management related
+work dims clusters by powering off spare nodes; the pool (next module)
+exposes exactly that operation so the power benchmarks can count idle
+versus powered-off machines separately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.inputs import ResourceKind
+from ..core.power import ServerPowerModel
+
+__all__ = ["PhysicalServer"]
+
+_ids = itertools.count()
+
+
+@dataclass
+class PhysicalServer:
+    """One normalized physical machine.
+
+    ``capacity`` maps resource kinds to normalized capability (1.0 = the
+    reference machine of the paper's normalization example).  Utilization
+    is tracked per resource for the power meter.
+    """
+
+    capacity: Mapping[ResourceKind, float] = field(
+        default_factory=lambda: {ResourceKind.CPU: 1.0, ResourceKind.DISK_IO: 1.0}
+    )
+    power_model: ServerPowerModel = field(default_factory=ServerPowerModel)
+    name: str = ""
+    powered_on: bool = True
+
+    def __post_init__(self) -> None:
+        caps = dict(self.capacity)
+        if not caps:
+            raise ValueError("server must expose at least one resource")
+        for kind, cap in caps.items():
+            if not isinstance(kind, ResourceKind):
+                raise TypeError(f"capacity keys must be ResourceKind, got {kind!r}")
+            if cap <= 0.0:
+                raise ValueError(f"capacity[{kind}] must be positive, got {cap}")
+        self.capacity = caps
+        if not self.name:
+            self.name = f"server-{next(_ids)}"
+        self._utilization: dict[ResourceKind, float] = {k: 0.0 for k in caps}
+
+    # -- state ------------------------------------------------------------
+
+    def power_on(self) -> None:
+        self.powered_on = True
+
+    def power_off(self) -> None:
+        """Shut the machine down; a powered-off server draws nothing and
+        serves nothing (its utilization is forced to zero)."""
+        self.powered_on = False
+        for k in self._utilization:
+            self._utilization[k] = 0.0
+
+    def set_utilization(self, resource: ResourceKind, value: float) -> None:
+        if resource not in self.capacity:
+            raise KeyError(f"{self.name} has no resource {resource}")
+        if not 0.0 <= value <= 1.0 + 1e-9:
+            raise ValueError(f"utilization must lie in [0, 1], got {value}")
+        if not self.powered_on:
+            raise RuntimeError(f"{self.name} is powered off")
+        self._utilization[resource] = min(value, 1.0)
+
+    def utilization(self, resource: ResourceKind) -> float:
+        return self._utilization.get(resource, 0.0)
+
+    @property
+    def dominant_utilization(self) -> float:
+        """Highest per-resource utilization — drives the power draw."""
+        return max(self._utilization.values(), default=0.0)
+
+    # -- power --------------------------------------------------------------
+
+    def power_draw(self) -> float:
+        """Instantaneous draw in watts (0 when powered off)."""
+        if not self.powered_on:
+            return 0.0
+        return self.power_model.draw(self.dominant_utilization)
+
+    def idle_draw(self) -> float:
+        """Draw the machine would have if idle but on."""
+        if not self.powered_on:
+            return 0.0
+        return self.power_model.base_watts

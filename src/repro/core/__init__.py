@@ -1,0 +1,67 @@
+"""The paper's primary contribution: the utility analytic model.
+
+Public API:
+
+- :class:`ServiceSpec`, :class:`ModelInputs`, :class:`ResourceKind` — model
+  inputs (``lambda_i``, ``mu_ij``, ``a_ij``, ``B``);
+- :class:`UtilityAnalyticModel` — the Fig. 4 algorithm (M, N);
+- :func:`utilization_report` — Eqs. 8–11;
+- :func:`power_comparison`, :class:`ServerPowerModel` — Eqs. 12–14;
+- :func:`allocation_algorithm_bound`, :func:`virtualization_bound` — the
+  Section III.B.4 applications;
+- :class:`ConsolidationPlanner` — one-call planning front door;
+- :class:`HeterogeneousPool` — server normalization (paper future work).
+"""
+
+from .applications import (
+    QosBound,
+    allocation_algorithm_bound,
+    allocation_algorithm_score,
+    virtualization_bound,
+)
+from .consolidation import ConsolidationPlanner, ConsolidationReport
+from .dynamic import DynamicCapacityPlanner, DynamicPlan, PeriodPlan
+from .heterogeneous import HeterogeneousPool, NormalizedPool, ServerClass
+from .inputs import UNLIMITED_RATE, ModelInputs, ResourceKind, ServiceSpec
+from .multiqos import MultiQosSolution, solve_with_targets
+from .model import (
+    ConsolidationSolution,
+    DedicatedServiceSizing,
+    UtilityAnalyticModel,
+)
+from .sensitivity import SensitivityEntry, SensitivityReport, sensitivity_report
+from .power import PowerComparison, ServerPowerModel, power_comparison
+from .utilization import ResourceUtilization, UtilizationReport, utilization_report
+
+__all__ = [
+    "ResourceKind",
+    "ServiceSpec",
+    "ModelInputs",
+    "UNLIMITED_RATE",
+    "UtilityAnalyticModel",
+    "ConsolidationSolution",
+    "DedicatedServiceSizing",
+    "utilization_report",
+    "UtilizationReport",
+    "ResourceUtilization",
+    "ServerPowerModel",
+    "PowerComparison",
+    "power_comparison",
+    "QosBound",
+    "allocation_algorithm_bound",
+    "allocation_algorithm_score",
+    "virtualization_bound",
+    "ConsolidationPlanner",
+    "ConsolidationReport",
+    "DynamicCapacityPlanner",
+    "DynamicPlan",
+    "PeriodPlan",
+    "MultiQosSolution",
+    "solve_with_targets",
+    "SensitivityEntry",
+    "SensitivityReport",
+    "sensitivity_report",
+    "ServerClass",
+    "HeterogeneousPool",
+    "NormalizedPool",
+]

@@ -1,0 +1,177 @@
+"""Heterogeneous-server normalization (paper Section III.B.1 + future work).
+
+The model's first assumption is homogeneous physical servers, justified by
+normalization: "CPU of a server which has two 2.0GHz Quad-Core processors
+can be normalized to 1, then CPU of a server which has one 2.0GHz Quad-Core
+processor can be normalized to 0.5."  This module implements that
+normalization — per-resource capacity vectors scaled against a reference
+machine — and the fleet-level conversion the paper defers to future work:
+mapping a heterogeneous inventory to an equivalent count of normalized
+servers, and converting the model's normalized answer back into a concrete
+packing of the real machines.
+
+The paper's Section IV.D discussion (AMD vs Intel throughput differing 20%
+at comparable clock rates) motivates *measured* rather than nameplate
+capacities; :class:`ServerClass` therefore accepts an optional measured
+throughput scale that overrides the spec-sheet ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .inputs import ResourceKind
+
+__all__ = ["ServerClass", "HeterogeneousPool", "NormalizedPool"]
+
+
+@dataclass(frozen=True)
+class ServerClass:
+    """One hardware model present in the inventory.
+
+    ``capacities`` are raw per-resource capability numbers in any consistent
+    unit (core-GHz for CPU, MB/s for disk, ...).  ``measured_scale``
+    optionally replaces the spec-derived ratio with a benchmark-derived one
+    (the paper's AMD-vs-Intel observation: spec ratios can be off by 20%).
+    """
+
+    name: str
+    capacities: Mapping[ResourceKind, float]
+    count: int = 1
+    measured_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("server class name must be non-empty")
+        if self.count < 0:
+            raise ValueError(f"{self.name}: count must be non-negative, got {self.count}")
+        caps = dict(self.capacities)
+        if not caps:
+            raise ValueError(f"{self.name}: at least one capacity entry required")
+        for kind, cap in caps.items():
+            if not isinstance(kind, ResourceKind):
+                raise TypeError(f"{self.name}: capacity keys must be ResourceKind")
+            if cap <= 0.0:
+                raise ValueError(f"{self.name}: capacity[{kind}] must be positive")
+        if self.measured_scale is not None and self.measured_scale <= 0.0:
+            raise ValueError(f"{self.name}: measured_scale must be positive")
+        object.__setattr__(self, "capacities", caps)
+
+    def normalized_capacity(
+        self, reference: "ServerClass", resource: ResourceKind
+    ) -> float:
+        """This class's resource capability in units of the reference machine."""
+        if self.measured_scale is not None:
+            return self.measured_scale
+        ref_cap = reference.capacities.get(resource)
+        own_cap = self.capacities.get(resource)
+        if ref_cap is None:
+            raise KeyError(f"reference class lacks capacity for {resource}")
+        if own_cap is None:
+            return 0.0
+        return own_cap / ref_cap
+
+    def normalized_bottleneck(self, reference: "ServerClass") -> float:
+        """Conservative scalar equivalence: the *weakest* resource ratio.
+
+        A machine is only as useful as its scarcest resource relative to the
+        reference, so sizing with the min ratio never over-promises.
+        """
+        ratios = [
+            self.normalized_capacity(reference, r) for r in reference.capacities
+        ]
+        return min(ratios) if ratios else 0.0
+
+
+@dataclass(frozen=True)
+class NormalizedPool:
+    """Result of normalizing a heterogeneous inventory."""
+
+    reference: ServerClass
+    equivalent_servers: float
+    per_class_equivalents: Mapping[str, float]
+
+    @property
+    def whole_servers(self) -> int:
+        """Usable whole normalized servers (floor — fractions cannot host)."""
+        return math.floor(self.equivalent_servers + 1e-9)
+
+
+class HeterogeneousPool:
+    """A mixed inventory of physical servers.
+
+    Provides the two directions the planner needs:
+
+    - :meth:`normalize` — how many reference-equivalent servers the
+      inventory amounts to (feed the model's homogeneous-world answer);
+    - :meth:`pack` — given a demand of ``n`` normalized servers, pick a
+      concrete multiset of real machines covering it, preferring the
+      largest machines first (fewest boxes powered on).
+    """
+
+    def __init__(self, classes: Sequence[ServerClass], reference: ServerClass | None = None):
+        if not classes:
+            raise ValueError("at least one server class required")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate server class names: {names}")
+        self.classes = tuple(classes)
+        self.reference = reference or max(
+            classes, key=lambda c: sum(c.capacities.values())
+        )
+
+    def normalize(self) -> NormalizedPool:
+        """Total inventory expressed in reference-equivalent servers."""
+        per_class: dict[str, float] = {}
+        total = 0.0
+        for cls in self.classes:
+            eq = cls.normalized_bottleneck(self.reference) * cls.count
+            per_class[cls.name] = eq
+            total += eq
+        return NormalizedPool(
+            reference=self.reference,
+            equivalent_servers=total,
+            per_class_equivalents=per_class,
+        )
+
+    def can_supply(self, normalized_servers: float) -> bool:
+        """Whether the inventory covers a demand of normalized servers."""
+        return self.normalize().equivalent_servers + 1e-9 >= normalized_servers
+
+    def pack(self, normalized_servers: float) -> dict[str, int]:
+        """Greedy largest-first packing of a normalized-server demand.
+
+        Returns ``{class name: machines to power on}``.  Greedy on the
+        per-machine equivalence is within one machine of optimal for this
+        one-dimensional covering problem, and matches how an operator would
+        actually bring capacity online.
+        """
+        if normalized_servers < 0.0:
+            raise ValueError(
+                f"demand must be non-negative, got {normalized_servers}"
+            )
+        remaining = normalized_servers
+        plan: dict[str, int] = {}
+        ordered = sorted(
+            self.classes,
+            key=lambda c: c.normalized_bottleneck(self.reference),
+            reverse=True,
+        )
+        for cls in ordered:
+            if remaining <= 1e-9:
+                break
+            per_machine = cls.normalized_bottleneck(self.reference)
+            if per_machine <= 0.0:
+                continue
+            take = min(cls.count, math.ceil(remaining / per_machine - 1e-9))
+            if take > 0:
+                plan[cls.name] = take
+                remaining -= take * per_machine
+        if remaining > 1e-9:
+            raise ValueError(
+                f"inventory cannot supply {normalized_servers} normalized servers "
+                f"(short by {remaining:.3f})"
+            )
+        return plan

@@ -1,0 +1,185 @@
+"""Power-consumption analysis (paper Eqs. 12–14).
+
+The paper adopts the linear server power model of Nedevschi et al. [1]:
+
+    P(u) = S_base + (S_max - S_base) * u
+
+where ``S_base`` is the baseline (idle) draw, ``S_max`` the full-load draw
+and ``u`` the average utilization.  Aggregating over the fleet for a run of
+duration ``t``:
+
+    P_M = M * S_base * t + (S_max - S_base) * U_M * M * t        (Eq. 12)
+    P_N = N * S_base * t + (S_max - S_base) * U_N * N * t        (Eq. 13)
+
+and the model's output is the ratio ``P_{M/N} = P_M / P_N`` (Eq. 14).
+
+Two empirical effects the paper *measured* but could not derive (its open
+question, Section IV.C.2) are captured as explicit knobs so the measured
+figures (Figs. 12–13) can be regenerated:
+
+- the idle Xen platform draws ~9% less than the idle Linux platform;
+- the same workload hosted on consolidated Xen servers draws ~30% less
+  workload-attributed power than on dedicated Linux servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import ConsolidationSolution
+from .utilization import UtilizationReport, utilization_report
+
+__all__ = ["ServerPowerModel", "PowerComparison", "power_comparison"]
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Linear power model of one physical server.
+
+    Defaults approximate the paper's testbed observation that busy servers
+    draw at most ~17% more than idle ones (Fig. 12(b)), consistent with
+    Barroso & Hölzle's energy-proportionality critique the paper cites:
+    with ``S_base = 250 W`` and ``S_max = 295 W``, a fully busy server draws
+    18% more than an idle one.
+    """
+
+    base_watts: float = 250.0
+    max_watts: float = 295.0
+
+    def __post_init__(self) -> None:
+        if self.base_watts < 0.0:
+            raise ValueError(f"base power must be non-negative, got {self.base_watts}")
+        if self.max_watts < self.base_watts:
+            raise ValueError(
+                f"max power ({self.max_watts}) must be >= base power ({self.base_watts})"
+            )
+
+    def draw(self, utilization: float) -> float:
+        """Instantaneous draw (watts) at the given utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise ValueError(f"utilization must lie in [0, 1], got {utilization}")
+        u = min(utilization, 1.0)
+        return self.base_watts + (self.max_watts - self.base_watts) * u
+
+    def energy(self, utilization: float, duration: float) -> float:
+        """Energy (joules, if watts and seconds) over ``duration``."""
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.draw(utilization) * duration
+
+    @property
+    def busy_over_idle(self) -> float:
+        """Fractional increase of a fully-busy server over an idle one."""
+        if self.base_watts == 0.0:
+            return float("inf")
+        return self.max_watts / self.base_watts - 1.0
+
+    def scaled(self, factor: float) -> "ServerPowerModel":
+        """Uniformly scale the whole model (e.g. the Xen platform deltas)."""
+        if factor <= 0.0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return ServerPowerModel(self.base_watts * factor, self.max_watts * factor)
+
+
+@dataclass(frozen=True)
+class PowerComparison:
+    """Fleet power under both scenarios, per paper Eqs. 12–14."""
+
+    dedicated_power: float
+    consolidated_power: float
+    dedicated_idle_power: float
+    consolidated_idle_power: float
+    duration: float
+
+    @property
+    def ratio(self) -> float:
+        """``P_{M/N}`` (Eq. 14): how many times more the dedicated fleet draws."""
+        if self.consolidated_power == 0.0:
+            return float("inf") if self.dedicated_power > 0.0 else 1.0
+        return self.dedicated_power / self.consolidated_power
+
+    @property
+    def saving(self) -> float:
+        """Fraction of total power saved by consolidating, ``(P_M - P_N)/P_M``.
+
+        The paper's headline "saves up to 53% power".
+        """
+        if self.dedicated_power == 0.0:
+            return 0.0
+        return (self.dedicated_power - self.consolidated_power) / self.dedicated_power
+
+    @property
+    def dedicated_workload_power(self) -> float:
+        """Workload-attributed power: total minus idle (paper Fig. 13)."""
+        return self.dedicated_power - self.dedicated_idle_power
+
+    @property
+    def consolidated_workload_power(self) -> float:
+        return self.consolidated_power - self.consolidated_idle_power
+
+    @property
+    def workload_power_saving(self) -> float:
+        """Fraction of workload-attributed power saved (Fig. 13's ~30%)."""
+        dw = self.dedicated_workload_power
+        if dw == 0.0:
+            return 0.0
+        return (dw - self.consolidated_workload_power) / dw
+
+
+def power_comparison(
+    solution: ConsolidationSolution,
+    power_model: ServerPowerModel | None = None,
+    duration: float = 1.0,
+    xen_idle_factor: float = 1.0,
+    xen_workload_factor: float = 1.0,
+    utilization: UtilizationReport | None = None,
+) -> PowerComparison:
+    """Evaluate Eqs. 12–14 on a solved consolidation.
+
+    Parameters
+    ----------
+    solution:
+        Output of :meth:`UtilityAnalyticModel.solve`.
+    power_model:
+        Per-server linear power model (defaults to the testbed-like one).
+    duration:
+        Length of the evaluation window ``t``; cancels in the ratio.
+    xen_idle_factor:
+        Multiplier on the *baseline* draw of the consolidated (Xen) fleet;
+        the paper measured ~0.91 (9% less idle power than Linux).  The pure
+        analytic model uses 1.0.
+    xen_workload_factor:
+        Multiplier on the *dynamic* (utilization-proportional) draw of the
+        consolidated fleet; the paper measured ~0.70 (30% less per-workload
+        power).  The pure analytic model uses 1.0.
+    utilization:
+        Optionally a precomputed utilization report; recomputed otherwise.
+        The scalar ``U_M``/``U_N`` entering the fleet equations is the
+        bottleneck (busiest dedicated) resource's utilization, matching how
+        the paper's case study reports CPU numbers.
+    """
+    if duration < 0.0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    if xen_idle_factor <= 0.0 or xen_workload_factor <= 0.0:
+        raise ValueError("Xen platform factors must be positive")
+    pm = power_model or ServerPowerModel()
+    util = utilization or utilization_report(solution)
+    busiest = max(util.per_resource, key=lambda r: r.dedicated)
+    u_m = min(busiest.dedicated, 1.0)
+    u_n = min(busiest.consolidated, 1.0)
+    m = solution.dedicated_servers
+    n = solution.consolidated_servers
+    dyn = pm.max_watts - pm.base_watts
+    dedicated_idle = m * pm.base_watts * duration
+    dedicated_total = dedicated_idle + dyn * u_m * m * duration
+    consolidated_idle = n * pm.base_watts * xen_idle_factor * duration
+    consolidated_total = (
+        consolidated_idle + dyn * u_n * n * duration * xen_workload_factor
+    )
+    return PowerComparison(
+        dedicated_power=dedicated_total,
+        consolidated_power=consolidated_total,
+        dedicated_idle_power=dedicated_idle,
+        consolidated_idle_power=consolidated_idle,
+        duration=duration,
+    )

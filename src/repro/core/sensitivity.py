@@ -1,0 +1,197 @@
+"""Sensitivity analysis of the consolidation plan to its inputs.
+
+Every model input — arrival rates, serving rates, impact factors, the loss
+target — is a measurement with error bars.  This module perturbs each one
+by a relative delta and reports how the consolidated server count responds
+(a tornado analysis), telling the operator which measurements are worth
+refining before committing hardware.
+
+The output orders parameters by their *swing*: the range of N across the
++/- perturbation.  Because N is integral, small perturbations often produce
+zero swing — itself useful information (the plan is robust to that input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .inputs import ModelInputs, ResourceKind, ServiceSpec
+from .model import UtilityAnalyticModel
+
+__all__ = ["SensitivityEntry", "SensitivityReport", "sensitivity_report"]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Response of N to one perturbed parameter."""
+
+    parameter: str
+    baseline: float
+    n_low: int     # N with the parameter scaled by (1 - delta)
+    n_high: int    # N with the parameter scaled by (1 + delta)
+
+    @property
+    def swing(self) -> int:
+        return abs(self.n_high - self.n_low)
+
+    @property
+    def direction(self) -> str:
+        """Whether raising the parameter raises, lowers or leaves N."""
+        if self.n_high > self.n_low:
+            return "increases"
+        if self.n_high < self.n_low:
+            return "decreases"
+        return "none"
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """All entries, most influential first."""
+
+    baseline_n: int
+    delta: float
+    entries: tuple[SensitivityEntry, ...]
+
+    def entry(self, parameter: str) -> SensitivityEntry:
+        for e in self.entries:
+            if e.parameter == parameter:
+                return e
+        raise KeyError(f"no parameter named {parameter!r}")
+
+    @property
+    def robust_parameters(self) -> tuple[str, ...]:
+        return tuple(e.parameter for e in self.entries if e.swing == 0)
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "parameter": e.parameter,
+                "baseline": e.baseline,
+                "N_minus": e.n_low,
+                "N_plus": e.n_high,
+                "swing": e.swing,
+                "raising_it": e.direction,
+            }
+            for e in self.entries
+        ]
+
+
+def _rebuild_service(
+    service: ServiceSpec,
+    arrival_rate: float | None = None,
+    mu_override: tuple[ResourceKind, float] | None = None,
+    impact_override: tuple[ResourceKind, float] | None = None,
+) -> ServiceSpec:
+    rates = dict(service.service_rates)
+    impacts = dict(service.impact_factors)
+    if mu_override is not None:
+        rates[mu_override[0]] = mu_override[1]
+    if impact_override is not None:
+        kind, value = impact_override
+        impacts[kind] = min(value, ServiceSpec.MAX_IMPACT)
+    return ServiceSpec(
+        name=service.name,
+        arrival_rate=service.arrival_rate if arrival_rate is None else arrival_rate,
+        service_rates=rates,
+        impact_factors=impacts,
+    )
+
+
+def _solve_n(services: Sequence[ServiceSpec], b: float, load_model: str) -> int:
+    inputs = ModelInputs(tuple(services), b)
+    return UtilityAnalyticModel(inputs, load_model=load_model).solve().consolidated_servers
+
+
+def sensitivity_report(
+    inputs: ModelInputs, delta: float = 0.1, load_model: str = "paper"
+) -> SensitivityReport:
+    """Tornado analysis of the consolidated sizing.
+
+    Perturbs, one at a time: every ``lambda_i``, every finite ``mu_ij``,
+    every explicit ``a_ij``, and the loss target ``B`` — each by
+    ``(1 +/- delta)`` — and re-solves the model.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+    base_services = list(inputs.services)
+    baseline_n = _solve_n(base_services, inputs.loss_probability, load_model)
+    entries: list[SensitivityEntry] = []
+
+    def perturbed(index: int, **kw) -> list[ServiceSpec]:
+        services = list(base_services)
+        services[index] = _rebuild_service(services[index], **kw)
+        return services
+
+    for i, service in enumerate(base_services):
+        lo = _solve_n(
+            perturbed(i, arrival_rate=service.arrival_rate * (1 - delta)),
+            inputs.loss_probability,
+            load_model,
+        )
+        hi = _solve_n(
+            perturbed(i, arrival_rate=service.arrival_rate * (1 + delta)),
+            inputs.loss_probability,
+            load_model,
+        )
+        entries.append(
+            SensitivityEntry(
+                parameter=f"lambda[{service.name}]",
+                baseline=service.arrival_rate,
+                n_low=lo,
+                n_high=hi,
+            )
+        )
+        for kind, mu in service.service_rates.items():
+            lo = _solve_n(
+                perturbed(i, mu_override=(kind, mu * (1 - delta))),
+                inputs.loss_probability,
+                load_model,
+            )
+            hi = _solve_n(
+                perturbed(i, mu_override=(kind, mu * (1 + delta))),
+                inputs.loss_probability,
+                load_model,
+            )
+            entries.append(
+                SensitivityEntry(
+                    parameter=f"mu[{service.name},{kind}]",
+                    baseline=mu,
+                    n_low=lo,
+                    n_high=hi,
+                )
+            )
+        for kind, a in service.impact_factors.items():
+            lo = _solve_n(
+                perturbed(i, impact_override=(kind, a * (1 - delta))),
+                inputs.loss_probability,
+                load_model,
+            )
+            hi = _solve_n(
+                perturbed(i, impact_override=(kind, a * (1 + delta))),
+                inputs.loss_probability,
+                load_model,
+            )
+            entries.append(
+                SensitivityEntry(
+                    parameter=f"a[{service.name},{kind}]",
+                    baseline=a,
+                    n_low=lo,
+                    n_high=hi,
+                )
+            )
+
+    b = inputs.loss_probability
+    entries.append(
+        SensitivityEntry(
+            parameter="B",
+            baseline=b,
+            n_low=_solve_n(base_services, max(b * (1 - delta), 1e-12), load_model),
+            n_high=_solve_n(base_services, min(b * (1 + delta), 1 - 1e-12), load_model),
+        )
+    )
+
+    entries.sort(key=lambda e: e.swing, reverse=True)
+    return SensitivityReport(
+        baseline_n=baseline_n, delta=delta, entries=tuple(entries)
+    )

@@ -1,0 +1,43 @@
+"""Reproduction harness: one module per paper table/figure.
+
+Run everything with ``python -m repro.experiments`` or target one artifact
+(``python -m repro.experiments fig10 table1``).  Programmatic access::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("table1")
+    print(result.text)
+
+See DESIGN.md's per-experiment index for the artifact -> module mapping.
+"""
+
+from .base import ExperimentResult, all_experiments, get_experiment
+from .casestudy import (
+    GROUP1,
+    GROUP2,
+    GROUPS,
+    CaseStudyGroup,
+    case_study_inputs,
+    db_service,
+    web_service,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+    "CaseStudyGroup",
+    "GROUP1",
+    "GROUP2",
+    "GROUPS",
+    "case_study_inputs",
+    "web_service",
+    "db_service",
+]
+
+
+def run_experiment(name: str, seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    """Run one registered experiment by name (loads the registry first)."""
+    from . import runner  # noqa: F401  (registers all experiments)
+
+    return get_experiment(name)(seed=seed, fast=fast)

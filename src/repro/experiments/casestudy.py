@@ -1,0 +1,156 @@
+"""The paper's Section IV case study, as reusable constants and builders.
+
+Serving rates and impact factors come from the paper's text (Section
+IV.C.2), with OCR dropouts reconstructed as documented in DESIGN.md:
+
+    mu_wi = 1420 req/s   Web service on disk I/O
+    mu_wc = 3360 req/s   Web service on CPU
+    mu_dc =  100 WIPS    DB service on CPU
+    mu_di =  inf         DB service's disk demand ~ zero
+    a_wi  = 0.8,  a_dc = 0.9,  a_wc = 0.65
+
+Workload intensities follow the paper's selection rule ("the intensive
+workload that the servers can afford", Fig. 9): the per-service arrival
+rate sits near the top of the Erlang-admissible range for the dedicated
+island size.  With these inputs the utility analytic model reproduces the
+paper's two experiment groups exactly:
+
+    Group 1:  lambda_w = 600,  lambda_d = 40, B = 0.01  ->  M = 6, N = 3
+    Group 2:  lambda_w = 1200, lambda_d = 80, B = 0.01  ->  M = 8, N = 4
+
+(Table I's literal numbers are unrecoverable from the provided text; these
+rows regenerate its structure from the model itself.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ModelInputs, ResourceKind, ServiceSpec
+
+__all__ = [
+    "MU_WEB_DISK_IO",
+    "MU_WEB_CPU",
+    "MU_DB_CPU",
+    "A_WEB_DISK_IO",
+    "A_DB_CPU",
+    "A_WEB_CPU",
+    "LOSS_PROBABILITY",
+    "web_service",
+    "db_service",
+    "case_study_inputs",
+    "CaseStudyGroup",
+    "GROUP1",
+    "GROUP2",
+    "GROUPS",
+]
+
+MU_WEB_DISK_IO = 1420.0
+MU_WEB_CPU = 3360.0
+MU_DB_CPU = 100.0
+
+A_WEB_DISK_IO = 0.8
+A_DB_CPU = 0.9
+A_WEB_CPU = 0.65
+
+LOSS_PROBABILITY = 0.01
+
+
+def web_service(arrival_rate: float, virtualized: bool = True) -> ServiceSpec:
+    """The SPECweb2005-driven e-commerce Web service.
+
+    ``virtualized=False`` drops the impact factors (native-Linux rates),
+    which is what the dedicated scenario and the ideal-hypervisor
+    counterfactual use.
+    """
+    impacts = (
+        {ResourceKind.CPU: A_WEB_CPU, ResourceKind.DISK_IO: A_WEB_DISK_IO}
+        if virtualized
+        else {}
+    )
+    return ServiceSpec(
+        name="web",
+        arrival_rate=arrival_rate,
+        service_rates={
+            ResourceKind.CPU: MU_WEB_CPU,
+            ResourceKind.DISK_IO: MU_WEB_DISK_IO,
+        },
+        impact_factors=impacts,
+    )
+
+
+def db_service(arrival_rate: float, virtualized: bool = True) -> ServiceSpec:
+    """The TPC-W-driven e-book DB service (CPU-bound; disk demand ~ 0)."""
+    impacts = {ResourceKind.CPU: A_DB_CPU} if virtualized else {}
+    return ServiceSpec(
+        name="db",
+        arrival_rate=arrival_rate,
+        service_rates={ResourceKind.CPU: MU_DB_CPU},
+        impact_factors=impacts,
+    )
+
+
+def case_study_inputs(
+    web_rate: float,
+    db_rate: float,
+    loss_probability: float = LOSS_PROBABILITY,
+    virtualized: bool = True,
+) -> ModelInputs:
+    """Bundle both services into validated model inputs."""
+    return ModelInputs(
+        services=(
+            web_service(web_rate, virtualized),
+            db_service(db_rate, virtualized),
+        ),
+        loss_probability=loss_probability,
+    )
+
+
+@dataclass(frozen=True)
+class CaseStudyGroup:
+    """One of the paper's two verification experiment groups."""
+
+    name: str
+    web_rate: float
+    db_rate: float
+    loss_probability: float
+    expected_dedicated: int       # M: dedicated servers (web + db islands)
+    expected_web_island: int
+    expected_db_island: int
+    expected_consolidated: int    # N
+
+    def inputs(self, virtualized: bool = True) -> ModelInputs:
+        return case_study_inputs(
+            self.web_rate, self.db_rate, self.loss_probability, virtualized
+        )
+
+    @property
+    def island_sizes(self) -> dict[str, int]:
+        return {"web": self.expected_web_island, "db": self.expected_db_island}
+
+
+#: Group 1: six dedicated servers (3 Web + 3 DB) -> three consolidated.
+GROUP1 = CaseStudyGroup(
+    name="group1",
+    web_rate=600.0,
+    db_rate=40.0,
+    loss_probability=LOSS_PROBABILITY,
+    expected_dedicated=6,
+    expected_web_island=3,
+    expected_db_island=3,
+    expected_consolidated=3,
+)
+
+#: Group 2: eight dedicated servers (4 Web + 4 DB) -> four consolidated.
+GROUP2 = CaseStudyGroup(
+    name="group2",
+    web_rate=1200.0,
+    db_rate=80.0,
+    loss_probability=LOSS_PROBABILITY,
+    expected_dedicated=8,
+    expected_web_island=4,
+    expected_db_island=4,
+    expected_consolidated=4,
+)
+
+GROUPS = (GROUP1, GROUP2)

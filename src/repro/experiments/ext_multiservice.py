@@ -1,0 +1,126 @@
+"""Extension experiment: consolidating many diverse services.
+
+The paper's case study consolidates two services.  Real enterprise data
+centers host many, with diverse bottlenecks and virtualization behaviour.
+This extension consolidates a five-service mix — two web tiers, a
+database, a memcached-like cache and a batch API — and reports the model's
+full output plus a DES validation of the loss probabilities, demonstrating
+the model's generality beyond the published case study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import format_kv, format_table
+from ..core import (
+    ModelInputs,
+    ResourceKind,
+    ServiceSpec,
+    UtilityAnalyticModel,
+    utilization_report,
+)
+from ..simulation.datacenter import DataCenterSimulation
+from .base import ExperimentResult, register
+
+__all__ = ["run", "FIVE_SERVICES"]
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+NET = ResourceKind.NETWORK
+
+#: A diverse mix: rates/bottlenecks chosen so every service needs 2-5
+#: dedicated machines and no single resource dominates all of them.
+FIVE_SERVICES = (
+    ServiceSpec(
+        "storefront", 900.0, {CPU: 2500.0, DISK: 1200.0, NET: 3000.0},
+        {CPU: 0.7, DISK: 0.8, NET: 0.9},
+    ),
+    ServiceSpec(
+        "media", 400.0, {CPU: 4000.0, DISK: 350.0, NET: 500.0},
+        {CPU: 0.7, DISK: 0.85, NET: 0.9},
+    ),
+    ServiceSpec("orders-db", 60.0, {CPU: 80.0}, {CPU: 0.9}),
+    ServiceSpec(
+        "cache", 2000.0, {CPU: 5000.0, NET: 2500.0}, {CPU: 0.75, NET: 0.9}
+    ),
+    ServiceSpec("batch-api", 150.0, {CPU: 300.0, DISK: 900.0}, {CPU: 0.8, DISK: 0.8}),
+)
+
+
+@register("ext-multiservice")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    inputs = ModelInputs(FIVE_SERVICES, loss_probability=0.01)
+    solution = UtilityAnalyticModel(inputs).solve()
+    util = utilization_report(solution)
+
+    rows = []
+    for sizing in solution.dedicated:
+        rows.append(
+            {
+                "service": sizing.service.name,
+                "lambda": sizing.service.arrival_rate,
+                "dedicated_servers": sizing.servers,
+                "bottleneck": str(sizing.bottleneck),
+            }
+        )
+    rows.append(
+        {
+            "service": "CONSOLIDATED",
+            "lambda": inputs.total_arrival_rate,
+            "dedicated_servers": solution.consolidated_servers,
+            "bottleneck": str(solution.consolidated_bottleneck),
+        }
+    )
+
+    # DES validation of both deployments, under BOTH consolidated sizings:
+    # with five diverse services the AM-vs-HM gap of Eq. 4 is large, so the
+    # paper-mode N under-provisions badly; the offered-load sizing is the
+    # deployable one.  The experiment quantifies both.
+    offered_solution = UtilityAnalyticModel(inputs, load_model="offered").solve()
+    sim = DataCenterSimulation(inputs)
+    rng = np.random.default_rng(seed)
+    horizon = 120.0 if fast else 1500.0
+    islands = {s.service.name: s.servers for s in solution.dedicated}
+    case = sim.run_case_study(
+        islands, offered_solution.consolidated_servers, horizon, rng
+    )
+    paper_run = sim.run_consolidated(
+        solution.consolidated_servers, horizon, np.random.default_rng(seed + 1)
+    )
+    ded_worst = max(case.dedicated.per_service_loss.values())
+    con_worst = max(case.consolidated.per_service_loss.values())
+
+    summary = {
+        "services": len(FIVE_SERVICES),
+        "M_dedicated": solution.dedicated_servers,
+        "N_paper_mode": solution.consolidated_servers,
+        "N_offered_mode": offered_solution.consolidated_servers,
+        "infrastructure_saving_offered": round(
+            1.0 - offered_solution.consolidated_servers / solution.dedicated_servers,
+            3,
+        ),
+        "utilization_improvement": round(util.bottleneck_improvement, 2),
+        "dedicated_worst_loss_measured": round(ded_worst, 4),
+        "offered_N_worst_loss_measured": round(con_worst, 4),
+        "paper_N_worst_loss_measured": round(
+            max(paper_run.per_service_loss.values()), 4
+        ),
+        "offered_sizing_meets_target": con_worst <= 0.03,
+        "power_saving_measured": round(case.power_saving, 3),
+        "distinct_bottlenecks": len(
+            {str(s.bottleneck) for s in solution.dedicated}
+        ),
+    }
+    text = (
+        format_table(rows, title="Extension — five-service consolidation")
+        + "\n\n"
+        + format_kv(summary, title="Model outputs and DES validation")
+    )
+    return ExperimentResult(
+        experiment="ext-multiservice",
+        title="Consolidating five diverse services (beyond the 2-service case study)",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

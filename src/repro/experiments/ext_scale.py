@@ -1,0 +1,79 @@
+"""Extension experiment: consolidation economics at scale + sizing fidelity.
+
+Not a paper artifact — two analyses the paper's framework enables but does
+not run, called out in DESIGN.md as extensions:
+
+1. **Multiplexing at scale** — sweep the case-study workload from 0.5x to
+   64x and track M, N and the saving fraction.  Statistical multiplexing
+   strengthens with scale: N/M falls toward the load ratio.
+
+2. **Sizing fidelity** — at each scale, compare three blocking estimates
+   for the model's N: the paper's independent per-resource Erlang on the
+   Eq. 4 load, the reduced-load Erlang fixed point on the offered loads,
+   and the conservative offered-load sizing.  This quantifies, across the
+   whole operating range, the optimism documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_kv, format_table
+from ..core import UtilityAnalyticModel
+from ..queueing.erlang import erlang_b
+from ..queueing.fixed_point import fixed_point_for_inputs
+from .base import ExperimentResult, register
+from .casestudy import case_study_inputs
+
+__all__ = ["run"]
+
+SCALES = (0.5, 1.0, 2.0, 4.0, 16.0, 64.0)
+
+
+@register("ext-scale")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    del seed  # analytic
+    scales = SCALES[:4] if fast else SCALES
+    rows = []
+    for scale in scales:
+        inputs = case_study_inputs(1200.0 * scale, 80.0 * scale)
+        paper = UtilityAnalyticModel(inputs, load_model="paper").solve()
+        offered = UtilityAnalyticModel(inputs, load_model="offered").solve()
+        n = paper.consolidated_servers
+        paper_blocking = max(
+            erlang_b(n, inputs.consolidated_load(r, "paper"))
+            for r in inputs.resources
+        )
+        fp = fixed_point_for_inputs(inputs, n)
+        rows.append(
+            {
+                "scale": f"x{scale:g}",
+                "M": paper.dedicated_servers,
+                "N_paper": n,
+                "N_offered": offered.consolidated_servers,
+                "saving": round(paper.infrastructure_saving, 3),
+                "B_paper_est": round(paper_blocking, 5),
+                "B_fixed_point": round(fp.worst_service_loss, 5),
+            }
+        )
+    first, last = rows[0], rows[-1]
+    summary = {
+        "saving_at_smallest_scale": first["saving"],
+        "saving_at_largest_scale": last["saving"],
+        "multiplexing_strengthens": last["saving"] >= first["saving"] - 1e-9,
+        "paper_estimate_optimistic_everywhere": all(
+            r["B_fixed_point"] >= r["B_paper_est"] for r in rows
+        ),
+        "note": "B_fixed_point is the reduced-load refinement at the "
+        "paper-mode N; the loss target is 0.01",
+    }
+    text = (
+        format_table(rows, title="Extension — consolidation economics vs scale")
+        + "\n\n"
+        + format_kv(summary, title="Scale effects")
+    )
+    return ExperimentResult(
+        experiment="ext-scale",
+        title="Multiplexing gain and sizing fidelity across workload scales",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

@@ -1,0 +1,86 @@
+"""Fig. 6 — Web throughput vs request rate, CPU-bound single 8 KB file.
+
+Every request hits one cached 8 KB file, so CPU (protocol + hypervisor
+processing) is the bottleneck.  Native Linux clearly outperforms any VM
+configuration — the published fit ``a = -0.039 v + 0.658`` starts well
+below 1 even for a single VM, the CPU price of paravirtualization.
+Structure mirrors the Fig. 5 experiment with the CPU-bound file set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.regression import fit_line
+from ..analysis.report import format_kv, format_series
+from ..virtualization.impact import WEB_CPU_IMPACT
+from ..workloads.httperf import RateSweep
+from ..workloads.specweb import SINGLE_FILE_8KB, WebServiceModel
+from .base import ExperimentResult, register
+
+__all__ = ["run", "VM_COUNTS"]
+
+VM_COUNTS = tuple(range(1, 10))
+
+
+@register("fig6")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    model = WebServiceModel.for_fileset(SINGLE_FILE_8KB)
+    points = 15 if fast else 40
+    rates = RateSweep.default_grid(model.native_capacity, points)
+
+    curves: dict[str, np.ndarray] = {}
+    for vms in (0, *VM_COUNTS):
+        sweep = RateSweep(
+            lambda r, g, v=vms: model.measure(r, v, g, rel_noise=0.02),
+            duration_per_point=10.0 if fast else 60.0,
+        ).run(rates, rng)
+        label = "native" if vms == 0 else f"{vms}vm"
+        curves[label] = sweep.reply_rates
+
+    measured_a = model.measured_impact_factors(
+        VM_COUNTS, rng=rng, rel_noise=0.01 if fast else 0.02
+    )
+    fit = fit_line(np.array(VM_COUNTS, dtype=float), measured_a)
+    published = WEB_CPU_IMPACT
+
+    rows = [
+        {
+            "vms": v,
+            "impact_measured": round(float(a), 4),
+            "impact_fit": round(float(fit.predict(v)), 4),
+            "impact_published": round(published.impact(v), 4),
+        }
+        for v, a in zip(VM_COUNTS, measured_a)
+    ]
+    native_vs_vm = curves["native"].max() / max(curves["1vm"].max(), 1e-9)
+    summary = {
+        "fit_slope": round(fit.slope, 4),
+        "fit_intercept": round(fit.intercept, 4),
+        "fit_r2": round(fit.r2, 4),
+        "published_slope": published.slope,
+        "published_intercept": published.intercept,
+        "slope_abs_error": round(abs(fit.slope - published.slope), 4),
+        "intercept_abs_error": round(abs(fit.intercept - published.intercept), 4),
+        "native_capacity_req_s": model.native_capacity,
+        "bottleneck": str(SINGLE_FILE_8KB.bottleneck),
+        "native_over_1vm_peak": round(float(native_vs_vm), 3),
+    }
+    text = (
+        format_series(
+            rates,
+            curves,
+            x_label="req/s",
+            title="Fig. 6(a) — Web reply rate vs request rate (CPU bound, 8 KB file)",
+        )
+        + "\n\n"
+        + format_kv(summary, title="Fig. 6(b) — impact factor regression (CPU)")
+    )
+    return ExperimentResult(
+        experiment="fig6",
+        title="Web service under CPU bottleneck: throughput and impact factors",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

@@ -1,0 +1,118 @@
+"""Fig. 9 — selecting the case-study operating point on 4 servers.
+
+The paper selects each service's verification workload as "the intensive
+workload that the servers can afford": the largest arrival rate the
+dedicated island still serves at the target loss probability, so that any
+more workload produces a visible performance difference.  Fig. 9 plots DB
+WIPS (with its "wips upper limit") and Web average response time against
+workload on four physical servers; the red circles mark the selections.
+
+This experiment regenerates both panels from the queueing substrate:
+
+- DB panel: delivered throughput ``lambda (1 - E_4(lambda/mu_dc))`` and
+  loss probability vs offered load, with the admissible limit
+  ``max{lambda : E_4 <= B}``;
+- Web panel: M/M/4 mean response time vs arrival rate (the response-time
+  knee), plus the Erlang-loss admissible limit;
+- the Group 2 selections (lambda_w = 1200, lambda_d = 80) shown against
+  those limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import format_kv, format_series
+from ..queueing.erlang import erlang_b, max_load_for_blocking
+from ..queueing.mmn import mmn_delay_metrics
+from .base import ExperimentResult, register
+from .casestudy import GROUP2, LOSS_PROBABILITY, MU_DB_CPU, MU_WEB_DISK_IO
+
+__all__ = ["run"]
+
+_SERVERS = 4
+
+
+@register("fig9")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    points = 12 if fast else 40
+
+    # --- DB panel: throughput + loss vs offered WIPS on 4 servers ---------
+    db_limit = max_load_for_blocking(_SERVERS, LOSS_PROBABILITY) * MU_DB_CPU
+    db_rates = np.linspace(10.0, 1.6 * db_limit, points)
+    db_loss = np.array([erlang_b(_SERVERS, lam / MU_DB_CPU) for lam in db_rates])
+    db_goodput = db_rates * (1.0 - db_loss)
+
+    # --- Web panel: M/M/4 mean response time vs arrival rate --------------
+    web_limit = max_load_for_blocking(_SERVERS, LOSS_PROBABILITY) * MU_WEB_DISK_IO
+    stable_max = _SERVERS * MU_WEB_DISK_IO
+    web_rates = np.linspace(0.05 * stable_max, 0.98 * stable_max, points)
+    web_resp = np.array(
+        [
+            mmn_delay_metrics(lam, MU_WEB_DISK_IO, _SERVERS).mean_response_time
+            for lam in web_rates
+        ]
+    )
+
+    # Cross-check the closed form against the delay-system DES at a few
+    # points (cheap smoke in fast mode, denser in full mode).
+    from ..simulation.delay_sim import simulate_delay_system
+
+    rng = np.random.default_rng(seed)
+    check_idx = [0, len(web_rates) // 2, len(web_rates) - 2]
+    sim_horizon = 30.0 if fast else 600.0
+    sim_resp = {}
+    for i in check_idx:
+        result = simulate_delay_system(
+            float(web_rates[i]), 1.0 / MU_WEB_DISK_IO, _SERVERS, sim_horizon, rng
+        )
+        sim_resp[int(i)] = result.mean_response_time
+    max_rel_err = max(
+        abs(sim_resp[i] - web_resp[i]) / web_resp[i] for i in sim_resp
+    )
+
+    summary = {
+        "servers_per_island": _SERVERS,
+        "loss_target_B": LOSS_PROBABILITY,
+        "db_wips_upper_limit": round(db_limit, 2),
+        "db_selected_rate": GROUP2.db_rate,
+        "db_selection_within_limit": bool(GROUP2.db_rate <= db_limit),
+        "db_selection_utilisation_of_limit": round(GROUP2.db_rate / db_limit, 3),
+        "web_admissible_limit": round(web_limit, 1),
+        "web_selected_rate": GROUP2.web_rate,
+        "web_selection_within_limit": bool(GROUP2.web_rate <= web_limit),
+        "web_selection_utilisation_of_limit": round(GROUP2.web_rate / web_limit, 3),
+        "response_time_sim_max_rel_err": round(max_rel_err, 3),
+    }
+    rows = [
+        {
+            "offered_wips": round(float(lam), 1),
+            "delivered_wips": round(float(g), 2),
+            "loss_probability": round(float(b), 5),
+        }
+        for lam, g, b in zip(db_rates, db_goodput, db_loss)
+    ]
+    text = (
+        format_series(
+            db_rates,
+            {"delivered_wips": db_goodput, "loss_prob": db_loss},
+            x_label="offered_wips",
+            title="Fig. 9(a) — DB throughput vs workload on 4 servers",
+        )
+        + "\n\n"
+        + format_series(
+            web_rates,
+            {"mean_response_s": web_resp},
+            x_label="req/s",
+            title="Fig. 9(b) — Web mean response time vs workload on 4 servers",
+        )
+        + "\n\n"
+        + format_kv(summary, title="Operating-point selection (paper's red circles)")
+    )
+    return ExperimentResult(
+        experiment="fig9",
+        title="Workload-vs-performance curves used to select the case-study rates",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

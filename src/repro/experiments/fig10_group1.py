@@ -1,0 +1,114 @@
+"""Fig. 10 — Group 1: six dedicated servers vs 2/3/4 consolidated servers.
+
+The paper runs the Web + DB workloads on six dedicated servers (three per
+service) and on two, three and four consolidated servers, comparing DB
+WIPS and Web performance.  Its reading: three consolidated servers match
+the six dedicated ones (two are overloaded — "the failure of this
+experiment because of too many workloads for servers to afford" — and four
+are more than needed), confirming the model's N = 3.
+
+The simulated counterpart measures, for every deployment, per-service loss
+probability and delivered throughput on the loss-network data center.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import format_kv, format_table
+from ..simulation.datacenter import DataCenterSimulation
+from .base import ExperimentResult, register
+from .casestudy import CaseStudyGroup, GROUP1
+
+__all__ = ["run", "consolidation_sweep_rows"]
+
+
+def consolidation_sweep_rows(
+    group: CaseStudyGroup,
+    consolidated_counts: tuple[int, ...],
+    horizon: float,
+    seed: int,
+) -> list[dict]:
+    """Rows comparing one dedicated deployment against several pool sizes."""
+    sim = DataCenterSimulation(group.inputs())
+    rng = np.random.default_rng(seed)
+    dedicated = sim.run_dedicated(group.island_sizes, horizon, rng)
+    rows = [
+        {
+            "deployment": f"dedicated ({group.expected_dedicated})",
+            "servers": dedicated.servers,
+            "db_loss": round(dedicated.per_service_loss["db"], 4),
+            "web_loss": round(dedicated.per_service_loss["web"], 4),
+            "db_throughput": round(dedicated.per_service_throughput["db"], 2),
+            "web_throughput": round(dedicated.per_service_throughput["web"], 1),
+        }
+    ]
+    for n in consolidated_counts:
+        res = sim.run_consolidated(n, horizon, rng)
+        rows.append(
+            {
+                "deployment": f"consolidated ({n})",
+                "servers": n,
+                "db_loss": round(res.per_service_loss["db"], 4),
+                "web_loss": round(res.per_service_loss["web"], 4),
+                "db_throughput": round(res.per_service_throughput["db"], 2),
+                "web_throughput": round(res.per_service_throughput["web"], 1),
+            }
+        )
+    return rows
+
+
+@register("fig10")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    horizon = 150.0 if fast else 2000.0
+    rows = consolidation_sweep_rows(GROUP1, (2, 3, 4), horizon, seed)
+
+    dedicated = rows[0]
+    by_n = {r["servers"]: r for r in rows[1:]}
+    # The paper compares *performance bars*: "the performance of DB service
+    # running on three dedicated servers is the closest to that running on
+    # three consolidated servers".  We adopt the same reading: the smallest
+    # pool whose per-service throughput stays within a few percent of the
+    # dedicated deployment's.  (Strict Erlang loss at N is higher than B —
+    # the model's Eq. 4 mixture is optimistic; see EXPERIMENTS.md.)
+    threshold = 0.93
+
+    def similar(row) -> bool:
+        return (
+            row["db_throughput"] >= threshold * dedicated["db_throughput"]
+            and row["web_throughput"] >= threshold * dedicated["web_throughput"]
+        )
+
+    def worst(row):
+        return max(row["db_loss"], row["web_loss"])
+
+    adequate = [n for n in sorted(by_n) if similar(by_n[n])]
+    chosen = adequate[0] if adequate else max(by_n)
+    summary = {
+        "model_predicted_N": GROUP1.expected_consolidated,
+        "smallest_similar_N_measured": chosen,
+        "matches_model": chosen == GROUP1.expected_consolidated,
+        "throughput_similarity_threshold": threshold,
+        "dedicated_worst_loss": worst(dedicated),
+        "loss_at_N2": worst(by_n[2]),
+        "loss_at_N3": worst(by_n[3]),
+        "loss_at_N4": worst(by_n[4]),
+        "N2_degraded": not similar(by_n[2]),
+        "servers_saved_fraction": round(
+            1.0 - GROUP1.expected_consolidated / GROUP1.expected_dedicated, 3
+        ),
+    }
+    text = (
+        format_table(
+            rows, title="Fig. 10 — Group 1: 6 dedicated vs 2/3/4 consolidated"
+        )
+        + "\n\n"
+        + format_kv(summary, title="Which pool size matches dedicated QoS?")
+    )
+    return ExperimentResult(
+        experiment="fig10",
+        title="Group 1 verification: six dedicated servers consolidate to three",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

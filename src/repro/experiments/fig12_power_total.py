@@ -1,0 +1,98 @@
+"""Fig. 12 — total power: eight dedicated vs four consolidated servers.
+
+The paper meters the whole fleets with an electric parameter tester, busy
+and idle, and reports:
+
+- consolidation saves up to ~53% of total power (roughly tracking the 50%
+  server reduction, amplified by the Xen platform's lower draw);
+- servers hosting services draw at most ~17% more than the same servers
+  idle (the Barroso & Hölzle energy-proportionality observation);
+- the idle Xen platform draws ~9% less than idle Linux.
+
+The simulated meter integrates both fleets' draw over the Group 2
+case-study run with the measured platform effects applied to the
+consolidated (Xen) side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import format_kv, format_table
+from ..simulation.datacenter import DataCenterSimulation
+from .base import ExperimentResult, register
+from .casestudy import GROUP2
+
+__all__ = ["run", "group2_case_study"]
+
+
+def group2_case_study(seed: int, fast: bool):
+    """Shared Group 2 run for the two power figures."""
+    horizon = 150.0 if fast else 2000.0
+    sim = DataCenterSimulation(GROUP2.inputs())
+    rng = np.random.default_rng(seed)
+    return sim.run_case_study(
+        GROUP2.island_sizes, GROUP2.expected_consolidated, horizon, rng
+    )
+
+
+@register("fig12")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    case = group2_case_study(seed, fast)
+    ded, con = case.dedicated.energy, case.consolidated.energy
+
+    rows = [
+        {
+            "fleet": "dedicated (8, Linux)",
+            "state": "busy",
+            "mean_power_W": round(ded.mean_power, 1),
+        },
+        {
+            "fleet": "dedicated (8, Linux)",
+            "state": "idle",
+            "mean_power_W": round(ded.idle_energy / ded.duration, 1),
+        },
+        {
+            "fleet": "consolidated (4, Xen)",
+            "state": "busy",
+            "mean_power_W": round(con.mean_power, 1),
+        },
+        {
+            "fleet": "consolidated (4, Xen)",
+            "state": "idle",
+            "mean_power_W": round(con.idle_energy / con.duration, 1),
+        },
+    ]
+    idle_linux_per_server = ded.idle_energy / ded.duration / case.dedicated.servers
+    idle_xen_per_server = con.idle_energy / con.duration / case.consolidated.servers
+    summary = {
+        "power_saving_fraction": round(case.power_saving, 3),
+        "paper_power_saving": 0.53,
+        "server_reduction_fraction": round(
+            1.0 - case.consolidated.servers / case.dedicated.servers, 3
+        ),
+        "dedicated_busy_over_idle": round(ded.busy_over_idle, 3),
+        "consolidated_busy_over_idle": round(con.busy_over_idle, 3),
+        "busy_increase_below_17pct": bool(
+            max(ded.busy_over_idle, con.busy_over_idle) <= 0.17 + 0.02
+        ),
+        "xen_idle_saving_per_server": round(
+            1.0 - idle_xen_per_server / idle_linux_per_server, 3
+        ),
+        "paper_xen_idle_saving": 0.09,
+    }
+    text = (
+        format_table(
+            rows,
+            title="Fig. 12 — fleet power: 8 dedicated vs 4 consolidated, busy & idle",
+        )
+        + "\n\n"
+        + format_kv(summary, title="Power savings and platform effects")
+    )
+    return ExperimentResult(
+        experiment="fig12",
+        title="Total power comparison (up to 53% saving)",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+    )

@@ -1,0 +1,89 @@
+"""Experiment registry CLI.
+
+``python -m repro.experiments`` (or the ``repro-experiments`` console
+script) runs any subset of the paper reproductions and prints their tables
+and series.  ``--full`` switches to publication-grade horizons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+# Importing the experiment modules populates the registry.
+from . import (  # noqa: F401  (imported for registration side effects)
+    applications,
+    ext_multiservice,
+    ext_scale,
+    ext_wan,
+    fig02_motivation,
+    fig05_web_io,
+    fig06_web_cpu,
+    fig07_vcpu_pinning,
+    fig08_db_cpu,
+    fig09_operating_point,
+    fig10_group1,
+    fig11_group2,
+    fig12_power_total,
+    fig13_power_workload,
+    table1,
+)
+from .base import all_experiments, get_experiment
+
+__all__ = ["main", "run_all"]
+
+
+def run_all(seed: int = 2009, fast: bool = True) -> dict[str, object]:
+    """Run every registered experiment; returns name -> ExperimentResult."""
+    return {
+        name: fn(seed=seed, fast=fast) for name, fn in sorted(all_experiments().items())
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="publication-grade horizons (slower, tighter statistics)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also export each artifact's data as DIR/<id>.csv and .json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(all_experiments()):
+            print(name)
+        return 0
+
+    names = args.experiments or sorted(all_experiments())
+    for name in names:
+        fn = get_experiment(name)
+        result = fn(seed=args.seed, fast=not args.full)
+        print("=" * 72)
+        print(f"[{result.experiment}] {result.title}")
+        print("=" * 72)
+        print(result.text)
+        if args.output:
+            csv_path, json_path = result.export(args.output)
+            print(f"\n  exported: {csv_path}  {json_path}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

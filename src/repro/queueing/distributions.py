@@ -1,0 +1,380 @@
+"""Probability distributions used throughout the queueing substrate.
+
+The utility analytic model of the paper assumes Poisson arrivals and a
+"general steady distribution" for service times (an M/G/n/n loss system,
+for which the Erlang loss formula is insensitive to the service-time
+distribution beyond its mean).  To exercise that insensitivity property in
+simulation — and to drive the synthetic workload generators — this module
+provides a small family of service-time distributions behind one uniform
+interface.
+
+All distributions are parameterised so that their *mean* is explicit, which
+is the only moment the analytic model consumes.  Sampling is vectorised on
+top of :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "ErlangK",
+    "HyperExponential",
+    "LogNormal",
+    "ParetoBounded",
+    "Empirical",
+    "as_distribution",
+]
+
+
+class Distribution(abc.ABC):
+    """A non-negative random variable with known mean and variance.
+
+    Subclasses implement :meth:`sample`, :attr:`mean` and :attr:`variance`.
+    The squared coefficient of variation (:attr:`scv`) is derived and is the
+    quantity most relevant to queueing behaviour.
+    """
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one sample (``size=None``) or a vector of ``size`` samples."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """First moment."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Second central moment."""
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``Var/E[X]^2``."""
+        m = self.mean
+        if m == 0.0:
+            raise ZeroDivisionError("SCV undefined for zero-mean distribution")
+        return self.variance / (m * m)
+
+    @property
+    def rate(self) -> float:
+        """Rate (1/mean); the ``mu`` of a service-time distribution."""
+        return 1.0 / self.mean
+
+    def scaled(self, factor: float) -> "Scaled":
+        """Return this distribution with all samples multiplied by ``factor``.
+
+        Used to apply virtualization impact factors to service times:
+        degrading the serving *rate* by ``a`` stretches every service *time*
+        by ``1/a``.
+        """
+        return Scaled(self, factor)
+
+
+@dataclass(frozen=True)
+class Scaled(Distribution):
+    """A distribution whose samples are linearly scaled by ``factor``."""
+
+    base: Distribution
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {self.factor}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return self.base.sample(rng, size) * self.factor
+
+    @property
+    def mean(self) -> float:
+        return self.base.mean * self.factor
+
+    @property
+    def variance(self) -> float:
+        return self.base.variance * self.factor * self.factor
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential distribution with the given ``rate`` (so mean = 1/rate)."""
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0.0:
+            raise ValueError(f"rate must be positive, got {self.lam}")
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        return cls(1.0 / mean)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.exponential(1.0 / self.lam, size)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / (self.lam * self.lam)
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """Constant service time (SCV = 0); the M/D/n/n extreme."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0:
+            raise ValueError(f"value must be non-negative, got {self.value}")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        if size is None:
+            return self.value
+        return np.full(size, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.uniform(self.low, self.high, size)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+
+@dataclass(frozen=True)
+class ErlangK(Distribution):
+    """Erlang-k distribution: sum of ``k`` iid exponentials (SCV = 1/k).
+
+    Interpolates between exponential (k=1) and deterministic (k→∞) service,
+    useful to demonstrate the Erlang-loss insensitivity property.
+    """
+
+    k: int
+    lam: float  # rate of each exponential phase; mean = k / lam
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.lam <= 0.0:
+            raise ValueError(f"rate must be positive, got {self.lam}")
+
+    @classmethod
+    def from_mean(cls, mean: float, k: int) -> "ErlangK":
+        return cls(k=k, lam=k / mean)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.gamma(shape=self.k, scale=1.0 / self.lam, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self.k / self.lam
+
+    @property
+    def variance(self) -> float:
+        return self.k / (self.lam * self.lam)
+
+
+@dataclass(frozen=True)
+class HyperExponential(Distribution):
+    """Mixture of exponentials (SCV > 1); models bursty service demands.
+
+    ``probs[i]`` selects phase ``i`` whose rate is ``rates[i]``.
+    """
+
+    probs: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.probs) != len(self.rates) or not self.probs:
+            raise ValueError("probs and rates must be equal-length, non-empty")
+        if any(p < 0 for p in self.probs) or abs(sum(self.probs) - 1.0) > 1e-9:
+            raise ValueError(f"probs must be a distribution, got {self.probs}")
+        if any(r <= 0 for r in self.rates):
+            raise ValueError(f"rates must be positive, got {self.rates}")
+
+    @classmethod
+    def balanced_two_phase(cls, mean: float, scv: float) -> "HyperExponential":
+        """Two-phase H2 with balanced means matching ``mean`` and ``scv >= 1``."""
+        if scv < 1.0:
+            raise ValueError(f"H2 requires scv >= 1, got {scv}")
+        # Standard balanced-means fit (Allen): p = (1 + sqrt((c-1)/(c+1)))/2.
+        p = 0.5 * (1.0 + math.sqrt((scv - 1.0) / (scv + 1.0)))
+        r1 = 2.0 * p / mean
+        r2 = 2.0 * (1.0 - p) / mean
+        return cls(probs=(p, 1.0 - p), rates=(r1, r2))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        n = 1 if size is None else size
+        phase = rng.choice(len(self.probs), size=n, p=self.probs)
+        rates = np.asarray(self.rates)[phase]
+        out = rng.exponential(1.0, n) / rates
+        return out[0] if size is None else out
+
+    @property
+    def mean(self) -> float:
+        return sum(p / r for p, r in zip(self.probs, self.rates))
+
+    @property
+    def variance(self) -> float:
+        m2 = sum(2.0 * p / (r * r) for p, r in zip(self.probs, self.rates))
+        return m2 - self.mean**2
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal distribution parameterised directly by mean and SCV.
+
+    Commonly fitted to web object service times; heavy-ish right tail.
+    """
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @classmethod
+    def from_mean_scv(cls, mean: float, scv: float) -> "LogNormal":
+        if mean <= 0.0 or scv < 0.0:
+            raise ValueError("mean must be positive and scv non-negative")
+        sigma2 = math.log(1.0 + scv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu=mu, sigma=math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        return rng.lognormal(self.mu, self.sigma, size)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+
+@dataclass(frozen=True)
+class ParetoBounded(Distribution):
+    """Bounded Pareto on ``[low, high]`` with shape ``alpha``.
+
+    The classic heavy-tailed model for web file sizes (Crovella et al.);
+    used by the SPECweb-like file-set generator.
+    """
+
+    alpha: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if not 0.0 < self.low < self.high:
+            raise ValueError(f"need 0 < low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        u = rng.uniform(0.0, 1.0, size)
+        a, l, h = self.alpha, self.low, self.high
+        # Inverse-CDF of the bounded Pareto.
+        la, ha = l**a, h**a
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / a)
+
+    def _raw_moment(self, k: int) -> float:
+        a, l, h = self.alpha, self.low, self.high
+        if abs(a - k) < 1e-12:
+            return a * l**a * (math.log(h) - math.log(l)) / (1.0 - (l / h) ** a)
+        c = a * l**a / (1.0 - (l / h) ** a)
+        return c * (h ** (k - a) - l ** (k - a)) / (k - a)
+
+    @property
+    def mean(self) -> float:
+        return self._raw_moment(1)
+
+    @property
+    def variance(self) -> float:
+        return self._raw_moment(2) - self.mean**2
+
+
+class Empirical(Distribution):
+    """Resampling distribution over an observed sample (trace playback)."""
+
+    def __init__(self, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("values must be a non-empty 1-D array")
+        if (arr < 0).any():
+            raise ValueError("values must be non-negative")
+        self._values = arr
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        idx = rng.integers(0, self._values.size, size)
+        return self._values[idx]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    @property
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self._values.var())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Empirical(n={self._values.size}, mean={self.mean:.4g})"
+
+
+def as_distribution(spec) -> Distribution:
+    """Coerce ``spec`` into a :class:`Distribution`.
+
+    Accepts an existing distribution (returned unchanged), a number
+    (interpreted as the *mean* of an exponential — the queueing-theory
+    default), or a 1-D sequence (wrapped as :class:`Empirical`).
+    """
+    if isinstance(spec, Distribution):
+        return spec
+    if isinstance(spec, (int, float)):
+        return Exponential.from_mean(float(spec))
+    return Empirical(spec)

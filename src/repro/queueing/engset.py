@@ -1,0 +1,103 @@
+"""Engset loss model: finite-source refinement of the Erlang analysis.
+
+The Erlang-B model assumes an infinite customer population (Poisson
+arrivals whose rate never depends on how many requests are in service).
+TPC-W's emulated browsers are a *finite* population: an EB waiting on a
+response generates no new requests, so offered load self-throttles and
+blocking is *lower* than Erlang-B predicts at the same nominal load.
+
+The Engset formula gives the exact blocking for ``S`` sources, each idle
+for mean ``1/alpha`` then requesting service of mean ``1/mu``, against
+``n`` servers (time congestion ``E``; what an *arriving customer* sees is
+the call congestion ``B``, computed with S-1 sources):
+
+    E_n = C(S, n) a^n / sum_k C(S, k) a^k,   a = alpha/mu
+
+This module provides both congestion measures (stable log-domain
+evaluation), the Erlang-B limit as S -> inf, and the server inversion —
+letting the planner quantify when the infinite-source approximation the
+paper uses is safe (S >> n) and when it over-provisions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "engset_time_congestion",
+    "engset_call_congestion",
+    "engset_min_servers",
+]
+
+
+def _log_weights(sources: int, servers: int, a: float) -> np.ndarray:
+    k = np.arange(servers + 1)
+    # log[ C(S, k) a^k ]
+    return (
+        special.gammaln(sources + 1)
+        - special.gammaln(k + 1)
+        - special.gammaln(sources - k + 1)
+        + k * math.log(a)
+    )
+
+
+def engset_time_congestion(servers: int, sources: int, a: float) -> float:
+    """Probability all ``servers`` are busy (time average).
+
+    ``a = alpha/mu`` is each idle source's offered intensity.  Defined for
+    ``sources >= servers`` (otherwise blocking is impossible: 0).
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be non-negative, got {servers}")
+    if sources < 1:
+        raise ValueError(f"sources must be >= 1, got {sources}")
+    if a < 0.0:
+        raise ValueError(f"intensity must be non-negative, got {a}")
+    if a == 0.0:
+        return 1.0 if servers == 0 else 0.0
+    if servers == 0:
+        return 1.0
+    if sources < servers:
+        return 0.0
+    logs = _log_weights(sources, servers, a)
+    return float(np.exp(logs[-1] - special.logsumexp(logs)))
+
+
+def engset_call_congestion(servers: int, sources: int, a: float) -> float:
+    """Probability an *arriving request* is blocked.
+
+    By the arrival theorem for finite-source systems, an arriving customer
+    sees the system as if it had one fewer source:
+    ``B(n, S, a) = E(n, S-1, a)``.  For ``sources <= servers`` no arrival
+    can ever be blocked.
+    """
+    if sources < 1:
+        raise ValueError(f"sources must be >= 1, got {sources}")
+    if sources <= servers:
+        return 0.0
+    return engset_time_congestion(servers, sources - 1, a)
+
+
+def engset_min_servers(
+    sources: int, a: float, blocking_target: float
+) -> int:
+    """Smallest ``n`` with Engset call congestion <= the target.
+
+    Call congestion is decreasing in ``n``; at ``n = sources`` it is zero,
+    so the scan always terminates.
+    """
+    if not 0.0 < blocking_target < 1.0:
+        raise ValueError(
+            f"blocking target must lie in (0, 1), got {blocking_target}"
+        )
+    if sources < 1:
+        raise ValueError(f"sources must be >= 1, got {sources}")
+    if a < 0.0:
+        raise ValueError(f"intensity must be non-negative, got {a}")
+    n = 0
+    while engset_call_congestion(n, sources, a) > blocking_target:
+        n += 1
+    return n

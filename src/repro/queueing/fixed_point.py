@@ -1,0 +1,177 @@
+"""Erlang fixed-point (reduced-load) approximation for loss networks.
+
+The paper sizes each resource independently and takes the max (Fig. 4).
+That ignores a second-order effect the full loss network exhibits: a
+request blocked on resource A never occupies resource B, so each
+resource's *effective* offered load is thinned by the blocking of the
+others.  The classical Erlang fixed-point approximation (Kelly, 1986)
+captures exactly this:
+
+    B_j = E_{n_j}( sum_i rho_ij * prod_{k != j, k in R_i} (1 - B_k) )
+
+iterated to convergence, where ``R_i`` is the set of resources service
+``i`` needs and ``rho_ij`` its offered load on resource ``j``.  Per-service
+acceptance then multiplies across its resources:
+
+    P_accept(i) = prod_{j in R_i} (1 - B_j)   (independence approximation)
+
+This module provides the fixed point as a refinement layer over the
+paper's model: same inputs, strictly more faithful blocking estimates,
+validated against the discrete-event loss network in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .erlang import erlang_b
+
+__all__ = ["FixedPointResult", "erlang_fixed_point", "fixed_point_for_inputs"]
+
+_MAX_ITERATIONS = 10_000
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Converged reduced-load approximation."""
+
+    per_resource_blocking: Mapping[str, float]
+    per_service_loss: Mapping[str, float]
+    reduced_loads: Mapping[str, float]
+    iterations: int
+    converged: bool
+
+    @property
+    def worst_service_loss(self) -> float:
+        return max(self.per_service_loss.values(), default=0.0)
+
+
+def erlang_fixed_point(
+    offered_loads: Mapping[str, Mapping[str, float]],
+    capacities: Mapping[str, int],
+    tol: float = 1e-10,
+    damping: float = 0.5,
+) -> FixedPointResult:
+    """Solve the Erlang fixed point.
+
+    Parameters
+    ----------
+    offered_loads:
+        ``offered_loads[service][resource] = rho_ij`` (only resources the
+        service actually uses; zero entries are allowed and ignored).
+    capacities:
+        ``capacities[resource] = n_j`` units (servers) of each resource.
+    tol:
+        Convergence threshold on the max blocking change per sweep.
+    damping:
+        Under-relaxation factor in (0, 1]; 1 = plain successive
+        substitution.  Damping guarantees progress on oscillatory
+        instances (the fixed point is unique for loss networks, but plain
+        iteration can ping-pong).
+    """
+    if not offered_loads:
+        raise ValueError("at least one service required")
+    if not capacities:
+        raise ValueError("at least one resource required")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping}")
+    for resource, n in capacities.items():
+        if n < 0:
+            raise ValueError(f"capacity[{resource}] must be non-negative, got {n}")
+    for service, loads in offered_loads.items():
+        for resource, rho in loads.items():
+            if rho < 0.0:
+                raise ValueError(
+                    f"offered load for {service}/{resource} must be >= 0, got {rho}"
+                )
+            if rho > 0.0 and resource not in capacities:
+                raise KeyError(
+                    f"service {service!r} loads unknown resource {resource!r}"
+                )
+
+    resources = list(capacities)
+    blocking = {j: 0.0 for j in resources}
+    iterations = 0
+    converged = False
+    while iterations < _MAX_ITERATIONS:
+        iterations += 1
+        max_delta = 0.0
+        for j in resources:
+            reduced = 0.0
+            for service, loads in offered_loads.items():
+                rho = loads.get(j, 0.0)
+                if rho <= 0.0:
+                    continue
+                thin = 1.0
+                for k, rho_k in loads.items():
+                    if k != j and rho_k > 0.0:
+                        thin *= 1.0 - blocking[k]
+                reduced += rho * thin
+            new_b = erlang_b(capacities[j], reduced)
+            updated = blocking[j] + damping * (new_b - blocking[j])
+            max_delta = max(max_delta, abs(updated - blocking[j]))
+            blocking[j] = updated
+        if max_delta < tol:
+            converged = True
+            break
+
+    reduced_loads = {}
+    for j in resources:
+        reduced = 0.0
+        for service, loads in offered_loads.items():
+            rho = loads.get(j, 0.0)
+            if rho <= 0.0:
+                continue
+            thin = 1.0
+            for k, rho_k in loads.items():
+                if k != j and rho_k > 0.0:
+                    thin *= 1.0 - blocking[k]
+            reduced += rho * thin
+        reduced_loads[j] = reduced
+
+    per_service = {}
+    for service, loads in offered_loads.items():
+        accept = 1.0
+        for j, rho in loads.items():
+            if rho > 0.0:
+                accept *= 1.0 - blocking[j]
+        per_service[service] = 1.0 - accept
+
+    return FixedPointResult(
+        per_resource_blocking=dict(blocking),
+        per_service_loss=per_service,
+        reduced_loads=reduced_loads,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def fixed_point_for_inputs(inputs, servers: int, virtualized: bool = True):
+    """Fixed-point blocking of the consolidated pool described by ``inputs``.
+
+    Builds the loss-network description directly from a
+    :class:`~repro.core.inputs.ModelInputs`: every resource of the pool has
+    ``servers`` units; service ``i`` offers ``lambda_i/(mu_ij a_ij)``
+    erlangs to resource ``j`` (native rates when ``virtualized=False``).
+    This is the refinement of the paper's per-resource max sizing.
+    """
+    import math
+
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    offered: dict[str, dict[str, float]] = {}
+    resources: dict[str, int] = {}
+    for service in inputs.services:
+        loads: dict[str, float] = {}
+        for kind in service.service_rates:
+            mu = service.effective_mu(kind) if virtualized else service.mu(kind)
+            if math.isinf(mu):
+                continue
+            loads[str(kind)] = service.arrival_rate / mu
+            resources[str(kind)] = servers
+        if loads:
+            offered[service.name] = loads
+    if not offered:
+        raise ValueError("no finite resource demands in inputs")
+    return erlang_fixed_point(offered, resources)

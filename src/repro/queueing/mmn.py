@@ -1,0 +1,183 @@
+"""Closed-form performance metrics for M/M/n/n and M/M/n systems.
+
+The paper's model treats each resource of the pooled data center as an
+``n``-server Erlang loss system.  This module packages the standard
+steady-state metrics of that system (and of the delay variant used in
+sanity checks) behind small result dataclasses so the experiment harness
+can print labelled rows rather than bare floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .erlang import erlang_b, erlang_c, offered_load
+
+__all__ = [
+    "LossSystemMetrics",
+    "mmnn_loss_metrics",
+    "DelaySystemMetrics",
+    "mmn_delay_metrics",
+    "min_servers_for_wait",
+    "wait_tail_probability",
+    "wait_percentile",
+]
+
+
+@dataclass(frozen=True)
+class LossSystemMetrics:
+    """Steady-state metrics of an M/G/n/n Erlang loss system."""
+
+    servers: int
+    offered_load: float
+    blocking_probability: float
+    carried_load: float
+    utilization: float
+    throughput: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.blocking_probability <= 1.0:
+            raise ValueError("blocking probability must lie in [0, 1]")
+
+
+def mmnn_loss_metrics(
+    arrival_rate: float, service_rate: float, servers: int
+) -> LossSystemMetrics:
+    """All steady-state metrics of an ``M/G/n/n`` loss system.
+
+    - ``carried_load = rho * (1 - B)`` (mean number of busy servers);
+    - ``utilization = carried_load / n``;
+    - ``throughput = lambda * (1 - B)``;
+    - ``loss_rate = lambda * B``.
+
+    By insensitivity these hold for any service-time distribution with mean
+    ``1/service_rate``.
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be non-negative, got {servers}")
+    rho = offered_load(arrival_rate, service_rate)
+    b = erlang_b(servers, rho)
+    carried = rho * (1.0 - b)
+    util = carried / servers if servers > 0 else 0.0
+    return LossSystemMetrics(
+        servers=servers,
+        offered_load=rho,
+        blocking_probability=b,
+        carried_load=carried,
+        utilization=util,
+        throughput=arrival_rate * (1.0 - b),
+        loss_rate=arrival_rate * b,
+    )
+
+
+@dataclass(frozen=True)
+class DelaySystemMetrics:
+    """Steady-state metrics of an M/M/n delay (Erlang C) system."""
+
+    servers: int
+    offered_load: float
+    utilization: float
+    probability_of_wait: float
+    mean_queue_length: float
+    mean_wait: float
+    mean_response_time: float
+
+
+def mmn_delay_metrics(
+    arrival_rate: float, service_rate: float, servers: int
+) -> DelaySystemMetrics:
+    """Standard M/M/n results (stable only: ``rho < n``).
+
+    Used by the simulated testbed to produce response-time curves (the
+    paper's Fig. 9 Web panel reports average response time) on top of the
+    loss-oriented headline model.
+    """
+    if servers <= 0:
+        raise ValueError(f"servers must be positive, got {servers}")
+    rho = offered_load(arrival_rate, service_rate)
+    if rho >= servers:
+        raise ValueError(
+            f"M/M/n requires rho < n for stability (rho={rho}, n={servers})"
+        )
+    c = erlang_c(servers, rho)
+    util = rho / servers
+    mean_queue = c * rho / (servers - rho)
+    mean_wait = c / (servers * service_rate - arrival_rate)
+    return DelaySystemMetrics(
+        servers=servers,
+        offered_load=rho,
+        utilization=util,
+        probability_of_wait=c,
+        mean_queue_length=mean_queue,
+        mean_wait=mean_wait,
+        mean_response_time=mean_wait + 1.0 / service_rate,
+    )
+
+
+def min_servers_for_wait(
+    arrival_rate: float, service_rate: float, max_mean_wait: float
+) -> int:
+    """Smallest ``n`` with M/M/n mean waiting time <= ``max_mean_wait``.
+
+    The delay-system dual of the Erlang-B inversion: sizes a *queueing*
+    tier (e.g. the Web front end, whose Fig. 9 metric is response time)
+    instead of a loss tier.  Starts at the stability floor ``n > rho`` and
+    scans upward; mean wait is strictly decreasing in ``n``, so the first
+    hit is minimal.
+    """
+    if arrival_rate <= 0.0 or service_rate <= 0.0:
+        raise ValueError("rates must be positive")
+    if max_mean_wait < 0.0:
+        raise ValueError(f"wait target must be >= 0, got {max_mean_wait}")
+    import math
+
+    rho = arrival_rate / service_rate
+    n = max(1, math.floor(rho) + 1)
+    while True:
+        metrics = mmn_delay_metrics(arrival_rate, service_rate, n)
+        if metrics.mean_wait <= max_mean_wait:
+            return n
+        n += 1
+        if n > 10_000_000:  # pragma: no cover - defensive
+            raise RuntimeError("min_servers_for_wait failed to converge")
+
+
+def wait_tail_probability(
+    arrival_rate: float, service_rate: float, servers: int, t: float
+) -> float:
+    """``P(W > t)`` for the M/M/n queue.
+
+    The conditional wait given queueing is exponential with rate
+    ``n*mu - lambda``, so ``P(W > t) = C(n, rho) * exp(-(n mu - lambda) t)``
+    — the formula behind percentile response-time SLAs ("95% of requests
+    wait under 50 ms"), which loss probabilities alone cannot express.
+    """
+    if t < 0.0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    metrics = mmn_delay_metrics(arrival_rate, service_rate, servers)
+    import math
+
+    rate = servers * service_rate - arrival_rate
+    return metrics.probability_of_wait * math.exp(-rate * t)
+
+
+def wait_percentile(
+    arrival_rate: float, service_rate: float, servers: int, quantile: float
+) -> float:
+    """Smallest ``t`` with ``P(W <= t) >= quantile``.
+
+    Returns 0 when the no-wait probability already covers the quantile;
+    otherwise inverts the exponential tail in closed form.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must lie in (0, 1), got {quantile}")
+    metrics = mmn_delay_metrics(arrival_rate, service_rate, servers)
+    c = metrics.probability_of_wait
+    tail_target = 1.0 - quantile
+    if c <= tail_target:
+        return 0.0
+    import math
+
+    rate = servers * service_rate - arrival_rate
+    return math.log(c / tail_target) / rate

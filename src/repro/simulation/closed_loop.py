@@ -1,0 +1,139 @@
+"""Closed-loop (finite-population) simulation — the TPC-W structure.
+
+A fixed population of customers (emulated browsers) cycles forever:
+think for an exponential ``think_time``, then visit each station in order
+(FIFO queueing, exponential service), then think again.  Throughput is
+interactions per second; with exponential assumptions the steady state is
+product-form, so the exact-MVA results of :mod:`repro.queueing.mva` apply
+— giving the validation pairing the tests exercise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .engine import Simulator
+from .metrics import RunningStats, TimeWeightedStat
+
+__all__ = ["ClosedLoopResult", "simulate_closed_loop"]
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    """Measured closed-loop behaviour."""
+
+    population: int
+    completed_cycles: int
+    throughput: float
+    mean_cycle_time: float
+    per_station_utilization: Mapping[str, float]
+    per_station_mean_queue: Mapping[str, float]
+
+
+class _Station:
+    def __init__(self, name: str, mean_service: float):
+        self.name = name
+        self.mean_service = mean_service
+        self.queue: deque = deque()
+        self.busy = False
+        self.busy_stat = TimeWeightedStat(0.0, 0.0)
+        self.queue_stat = TimeWeightedStat(0.0, 0.0)
+
+
+def simulate_closed_loop(
+    population: int,
+    think_time: float,
+    service_demands: Mapping[str, float],
+    horizon: float,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.1,
+) -> ClosedLoopResult:
+    """Simulate the closed network on ``[0, horizon]``.
+
+    ``service_demands[k]`` is station ``k``'s mean (exponential) service
+    time; stations are visited in mapping order.  Cycle statistics exclude
+    the warm-up prefix.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population}")
+    if think_time < 0.0:
+        raise ValueError(f"think time must be non-negative, got {think_time}")
+    if not service_demands:
+        raise ValueError("at least one station required")
+    for name, d in service_demands.items():
+        if d <= 0.0:
+            raise ValueError(f"demand for {name!r} must be positive, got {d}")
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+
+    sim = Simulator()
+    stations = [_Station(k, d) for k, d in service_demands.items()]
+    warmup_end = horizon * warmup_fraction
+    cycles = RunningStats()
+    completed = 0
+
+    def begin_cycle() -> None:
+        started = sim.now
+        think = rng.exponential(think_time) if think_time > 0.0 else 0.0
+        sim.schedule_in(think, lambda: enter_station(0, started))
+
+    def enter_station(index: int, started: float) -> None:
+        if index >= len(stations):
+            nonlocal completed
+            # Count completions inside the measurement window so the
+            # throughput normalisation is exact.
+            if warmup_end <= sim.now <= horizon:
+                cycles.add(sim.now - started)
+                completed += 1
+            if sim.now < horizon:
+                begin_cycle()
+            return
+        st = stations[index]
+        if not st.busy:
+            start_service(st, index, started)
+        else:
+            st.queue_stat.update(sim.now, len(st.queue) + 1)
+            st.queue.append(started)
+
+    def start_service(st: _Station, index: int, started: float) -> None:
+        st.busy_stat.update(sim.now, 1.0)
+        st.busy = True
+        hold = rng.exponential(st.mean_service)
+        sim.schedule_in(hold, lambda: finish_service(st, index, started))
+
+    def finish_service(st: _Station, index: int, started: float) -> None:
+        st.busy_stat.update(sim.now, 0.0)
+        st.busy = False
+        if st.queue:
+            st.queue_stat.update(sim.now, len(st.queue) - 1)
+            pending = st.queue.popleft()
+            start_service(st, index, pending)
+        enter_station(index + 1, started)
+
+    for _ in range(population):
+        begin_cycle()
+    # Hard-stop measurement at the horizon; in-flight cycles are discarded
+    # (steady-state rates are unaffected by the truncation).
+    sim.run(until=horizon)
+    end = horizon
+    for st in stations:
+        st.busy_stat.finalize(end)
+        st.queue_stat.finalize(end)
+
+    effective = horizon - warmup_end
+    return ClosedLoopResult(
+        population=population,
+        completed_cycles=completed,
+        throughput=completed / effective if effective > 0.0 else 0.0,
+        mean_cycle_time=cycles.mean if cycles.count else 0.0,
+        per_station_utilization={
+            st.name: st.busy_stat.time_average(end) for st in stations
+        },
+        per_station_mean_queue={
+            st.name: st.queue_stat.time_average(end) for st in stations
+        },
+    )

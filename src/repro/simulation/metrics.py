@@ -1,0 +1,161 @@
+"""Online statistics for the simulation.
+
+Simulations produce long streams; storing every observation is wasteful and
+the guides' advice is to keep the hot loop allocation-free.  These
+accumulators maintain running moments:
+
+- :class:`RunningStats` — Welford's numerically stable mean/variance;
+- :class:`TimeWeightedStat` — piecewise-constant signals (queue length,
+  utilization) averaged over virtual time;
+- :class:`LossCounter` — arrivals/accepted/blocked with the loss
+  probability estimate and a normal-approximation confidence interval
+  (the paper's "loss probability calculated by requests", B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RunningStats", "TimeWeightedStat", "LossCounter"]
+
+
+class RunningStats:
+    """Welford accumulator for iid observations."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._min = min(self._min, x)
+        self._max = max(self._max, x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample (n-1) variance."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        half = z * self.std / math.sqrt(self._n) if self._n > 1 else 0.0
+        return (self._mean - half, self._mean + half)
+
+
+class TimeWeightedStat:
+    """Time average of a piecewise-constant signal.
+
+    Call :meth:`update` *before* the signal changes, passing the current
+    virtual time; the value held since the previous update is weighted by
+    the elapsed interval.
+    """
+
+    def __init__(self, initial_value: float = 0.0, start_time: float = 0.0) -> None:
+        self._value = initial_value
+        self._last_time = start_time
+        self._start = start_time
+        self._area = 0.0
+        self._max = initial_value
+
+    def update(self, time: float, new_value: float) -> None:
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = new_value
+        self._max = max(self._max, new_value)
+
+    def finalize(self, time: float) -> None:
+        """Extend the last-held value to the end of the run."""
+        self.update(time, self._value)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def time_average(self, now: float | None = None) -> float:
+        """Average over [start, now] (defaults to last update time)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("now precedes last update")
+        duration = end - self._start
+        if duration <= 0.0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / duration
+
+
+class LossCounter:
+    """Arrived / accepted / blocked bookkeeping with CI on the loss rate."""
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.blocked = 0
+
+    def record(self, accepted: bool) -> None:
+        self.arrived += 1
+        if not accepted:
+            self.blocked += 1
+
+    @property
+    def accepted(self) -> int:
+        return self.arrived - self.blocked
+
+    @property
+    def loss_probability(self) -> float:
+        if self.arrived == 0:
+            return 0.0
+        return self.blocked / self.arrived
+
+    def loss_confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score interval — behaves sensibly for rare losses."""
+        n = self.arrived
+        if n == 0:
+            return (0.0, 1.0)
+        p = self.loss_probability
+        z2 = z * z
+        denom = 1.0 + z2 / n
+        centre = (p + z2 / (2.0 * n)) / denom
+        half = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
+        return (max(0.0, centre - half), min(1.0, centre + half))

@@ -1,0 +1,206 @@
+"""Multi-tier (tandem) service simulation.
+
+The paper's related work stresses that different tiers of a multi-tiered
+service have different resource characteristics and hence different
+virtualization impact factors — one of its criticisms of whole-application
+performance studies.  This module simulates a tandem of queueing tiers
+(web front end -> application -> database, each an ``n_k``-server FIFO
+station) so per-tier impact factors can be applied and their end-to-end
+effect measured.
+
+With exponential service everywhere this is a Jackson tandem: by Burke's
+theorem each tier sees Poisson arrivals, the network is product-form, and
+the end-to-end mean response time is the sum of per-tier M/M/n times —
+which is exactly how the tests validate the simulator.  ``visit_ratio``
+lets a tier be skipped probabilistically (not every web request touches
+the database), thinning its Poisson stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..queueing.distributions import Distribution, as_distribution
+from .engine import Simulator
+from .metrics import RunningStats, TimeWeightedStat
+
+__all__ = ["TierSpec", "TierResult", "TandemResult", "simulate_tandem"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier of the tandem.
+
+    ``service`` is a distribution or an exponential mean; ``impact_factor``
+    stretches service times by ``1/a`` (the virtualization overhead applied
+    to *this tier only*); ``visit_ratio`` in (0, 1] is the probability a
+    request visits this tier at all.
+    """
+
+    name: str
+    servers: int
+    service: Distribution | float
+    impact_factor: float = 1.0
+    visit_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.servers < 1:
+            raise ValueError(f"{self.name}: servers must be >= 1, got {self.servers}")
+        if not 0.0 < self.impact_factor <= 10.0:
+            raise ValueError(
+                f"{self.name}: impact factor must lie in (0, 10], got {self.impact_factor}"
+            )
+        if not 0.0 < self.visit_ratio <= 1.0:
+            raise ValueError(
+                f"{self.name}: visit ratio must lie in (0, 1], got {self.visit_ratio}"
+            )
+        dist = as_distribution(self.service)
+        if self.impact_factor != 1.0:
+            dist = dist.scaled(1.0 / self.impact_factor)
+        object.__setattr__(self, "service", dist)
+
+
+@dataclass(frozen=True)
+class TierResult:
+    """Measured per-tier behaviour."""
+
+    name: str
+    visits: int
+    mean_wait: float
+    mean_service: float
+    utilization: float
+
+    @property
+    def mean_sojourn(self) -> float:
+        return self.mean_wait + self.mean_service
+
+
+@dataclass(frozen=True)
+class TandemResult:
+    """End-to-end and per-tier measurements."""
+
+    completed: int
+    mean_response_time: float
+    tiers: tuple[TierResult, ...]
+
+    def tier(self, name: str) -> TierResult:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier named {name!r}")
+
+
+class _TierState:
+    def __init__(self, spec: TierSpec, sim: Simulator):
+        self.spec = spec
+        self.sim = sim
+        self.queue: deque = deque()
+        self.busy = 0
+        self.waits = RunningStats()
+        self.services = RunningStats()
+        self.busy_stat = TimeWeightedStat(0.0, 0.0)
+        self.visits = 0
+
+
+def simulate_tandem(
+    arrival_rate: float,
+    tiers: Sequence[TierSpec],
+    horizon: float,
+    rng: np.random.Generator,
+) -> TandemResult:
+    """Simulate the tandem on ``[0, horizon]`` with Poisson arrivals.
+
+    Requests enter tier 0 and proceed through each subsequent tier they
+    visit (independent ``visit_ratio`` coin per tier); response time is
+    measured entrance-to-final-completion.
+    """
+    if arrival_rate <= 0.0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    if not tiers:
+        raise ValueError("at least one tier required")
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    names = [t.name for t in tiers]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tier names: {names}")
+
+    sim = Simulator()
+    states = [_TierState(t, sim) for t in tiers]
+    responses = RunningStats()
+
+    def finish(entered_at: float) -> None:
+        responses.add(sim.now - entered_at)
+
+    def advance(index: int, entered_at: float) -> None:
+        """Route the request to the next visited tier (or finish)."""
+        while index < len(states):
+            spec = states[index].spec
+            if spec.visit_ratio >= 1.0 or rng.uniform() < spec.visit_ratio:
+                enqueue(states[index], index, entered_at)
+                return
+            index += 1
+        finish(entered_at)
+
+    def enqueue(state: _TierState, index: int, entered_at: float) -> None:
+        state.visits += 1
+        if state.busy < state.spec.servers:
+            start_service(state, index, entered_at, queued_at=sim.now)
+        else:
+            state.queue.append((sim.now, entered_at))
+
+    def start_service(
+        state: _TierState, index: int, entered_at: float, queued_at: float
+    ) -> None:
+        wait = sim.now - queued_at
+        hold = float(state.spec.service.sample(rng))
+        state.waits.add(wait)
+        state.services.add(hold)
+        state.busy_stat.update(sim.now, state.busy + 1)
+        state.busy += 1
+        sim.schedule_in(hold, lambda: depart(state, index, entered_at))
+
+    def depart(state: _TierState, index: int, entered_at: float) -> None:
+        state.busy_stat.update(sim.now, state.busy - 1)
+        state.busy -= 1
+        if state.queue:
+            queued_at, pending_entry = state.queue.popleft()
+            start_service(state, index, pending_entry, queued_at)
+        advance(index + 1, entered_at)
+
+    def arrive() -> None:
+        advance(0, sim.now)
+        gap = rng.exponential(1.0 / arrival_rate)
+        if sim.now + gap <= horizon:
+            sim.schedule_in(gap, arrive)
+
+    first = rng.exponential(1.0 / arrival_rate)
+    if first <= horizon:
+        sim.schedule_at(first, arrive)
+    sim.run()
+    end = max(sim.now, horizon)
+
+    tier_results = []
+    for state in states:
+        state.busy_stat.finalize(end)
+        tier_results.append(
+            TierResult(
+                name=state.spec.name,
+                visits=state.visits,
+                mean_wait=state.waits.mean if state.waits.count else 0.0,
+                mean_service=state.services.mean if state.services.count else 0.0,
+                utilization=min(
+                    state.busy_stat.time_average(end) / state.spec.servers, 1.0
+                ),
+            )
+        )
+    return TandemResult(
+        completed=responses.count,
+        mean_response_time=responses.mean if responses.count else 0.0,
+        tiers=tuple(tier_results),
+    )

@@ -1,0 +1,185 @@
+"""Virtualization impact-factor models (paper Section IV.C.1).
+
+The impact factor ``a(v)`` is the ratio of QoS delivered by ``v`` VMs
+sharing a physical server to the QoS of native Linux on the same hardware.
+The paper measures three curves and fits them:
+
+- Web service, disk-I/O-bound (Fig. 5b):  ``a(v) = -0.012 v + 1.082``
+  (linear; throughput degrades slowly until the I/O overhead of many
+  domains bites — beyond ~6 VMs degradation exceeds 50%, the paper's
+  Section IV.D observation);
+- Web service, CPU-bound (Fig. 6b):       ``a(v) = -0.039 v + 0.658``
+  (the hypervisor costs ~1/3 of CPU QoS even for one VM);
+- DB service, CPU+software (Fig. 8b):     saturating in ``v`` with
+  asymptote ~1.85 — multiple VMs *beat* native Linux because a single OS
+  image is itself the bottleneck for this workload.  The source text's
+  formula is partially garbled; we default to ``a(v) = 1.85 v^2/(v^2+0.85)``
+  (pinned so ``a(1) = 1.0``, matching Fig. 8's "native and one VM is about
+  half of multiple VMs") and also provide the alternative literal reading
+  ``1.85 v^2/(v^2 + 0.46)``.
+
+Besides the published curves, :func:`fit_linear_impact` and
+:func:`fit_saturating_impact` re-derive the coefficients from (synthetic or
+measured) throughput observations, reproducing the paper's own regression
+step — the Fig. 5/6/8 benches generate noisy measurements from the
+simulated testbed and confirm the refit recovers the published lines.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+__all__ = [
+    "ImpactModel",
+    "LinearImpactModel",
+    "SaturatingImpactModel",
+    "ConstantImpactModel",
+    "WEB_DISK_IO_IMPACT",
+    "WEB_CPU_IMPACT",
+    "DB_CPU_IMPACT",
+    "DB_CPU_IMPACT_LITERAL",
+    "fit_linear_impact",
+    "fit_saturating_impact",
+]
+
+#: Impact factors below this are treated as "service effectively dead";
+#: models clip here rather than return non-physical values <= 0.
+_MIN_IMPACT = 1e-6
+
+
+class ImpactModel(abc.ABC):
+    """Impact factor as a function of the number of co-hosted VMs."""
+
+    @abc.abstractmethod
+    def impact(self, vms: int | float) -> float:
+        """``a(v)`` for ``v`` VMs on one physical server."""
+
+    def impacts(self, vms) -> np.ndarray:
+        """Vectorised evaluation."""
+        arr = np.asarray(vms, dtype=float)
+        return np.array([self.impact(v) for v in arr.ravel()]).reshape(arr.shape)
+
+    def _check_vms(self, vms: int | float) -> float:
+        v = float(vms)
+        if v < 0.0:
+            raise ValueError(f"number of VMs must be non-negative, got {vms}")
+        return v
+
+
+@dataclass(frozen=True)
+class LinearImpactModel(ImpactModel):
+    """``a(v) = intercept + slope * v``, clipped to ``(0, cap]``.
+
+    ``cap`` defaults to 1.0: a *linear* fit above 1 would claim VMs beat
+    native, which the linear-degradation regime never exhibits; the cap also
+    keeps the v=0 extrapolation sane (native Linux, a=1).
+    """
+
+    slope: float
+    intercept: float
+    cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0.0:
+            raise ValueError(f"cap must be positive, got {self.cap}")
+
+    def impact(self, vms: int | float) -> float:
+        v = self._check_vms(vms)
+        return float(np.clip(self.intercept + self.slope * v, _MIN_IMPACT, self.cap))
+
+    def vms_at_impact(self, a: float) -> float:
+        """Inverse: VM count at which the (unclipped) line crosses ``a``."""
+        if self.slope == 0.0:
+            raise ZeroDivisionError("flat impact line has no unique inverse")
+        return (a - self.intercept) / self.slope
+
+
+@dataclass(frozen=True)
+class SaturatingImpactModel(ImpactModel):
+    """``a(v) = ceiling * v^2 / (v^2 + half_v2)``.
+
+    Rises from 0 at ``v = 0`` (no VM, no virtualized service) towards
+    ``ceiling``; reaches half the ceiling at ``v = sqrt(half_v2)``.  Models
+    the DB-service regime where adding VM instances lifts the single-OS
+    software bottleneck.
+    """
+
+    ceiling: float
+    half_v2: float
+
+    def __post_init__(self) -> None:
+        if self.ceiling <= 0.0:
+            raise ValueError(f"ceiling must be positive, got {self.ceiling}")
+        if self.half_v2 <= 0.0:
+            raise ValueError(f"half_v2 must be positive, got {self.half_v2}")
+
+    def impact(self, vms: int | float) -> float:
+        v = self._check_vms(vms)
+        if v == 0.0:
+            return _MIN_IMPACT
+        v2 = v * v
+        return self.ceiling * v2 / (v2 + self.half_v2)
+
+
+@dataclass(frozen=True)
+class ConstantImpactModel(ImpactModel):
+    """VM-count-independent impact factor (useful for ablations / a=1)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value <= 0.0:
+            raise ValueError(f"impact must be positive, got {self.value}")
+
+    def impact(self, vms: int | float) -> float:
+        self._check_vms(vms)
+        return self.value
+
+
+#: Published fits (see module docstring for provenance / reconstruction).
+#: The disk-I/O line literally exceeds 1 for few VMs (a(1) = 1.07 — the
+#: measured stable VM throughput edged past native), so its cap is left
+#: above the fitted range instead of clamping to 1.
+WEB_DISK_IO_IMPACT = LinearImpactModel(slope=-0.012, intercept=1.082, cap=1.2)
+WEB_CPU_IMPACT = LinearImpactModel(slope=-0.039, intercept=0.658)
+DB_CPU_IMPACT = SaturatingImpactModel(ceiling=1.85, half_v2=0.85)
+DB_CPU_IMPACT_LITERAL = SaturatingImpactModel(ceiling=1.85, half_v2=0.46)
+
+
+def fit_linear_impact(
+    vms: np.ndarray, impacts: np.ndarray, cap: float = 1.0
+) -> LinearImpactModel:
+    """Least-squares line through measured (v, a) points — the paper's
+    own regression step for Figs. 5b/6b."""
+    v = np.asarray(vms, dtype=float)
+    a = np.asarray(impacts, dtype=float)
+    if v.ndim != 1 or v.shape != a.shape or v.size < 2:
+        raise ValueError("need matching 1-D arrays with at least 2 points")
+    design = np.column_stack([v, np.ones_like(v)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, a, rcond=None)
+    return LinearImpactModel(slope=float(slope), intercept=float(intercept), cap=cap)
+
+
+def fit_saturating_impact(
+    vms: np.ndarray, impacts: np.ndarray
+) -> SaturatingImpactModel:
+    """Nonlinear least squares for the saturating DB curve (Fig. 8b)."""
+    v = np.asarray(vms, dtype=float)
+    a = np.asarray(impacts, dtype=float)
+    if v.ndim != 1 or v.shape != a.shape or v.size < 2:
+        raise ValueError("need matching 1-D arrays with at least 2 points")
+    if (v <= 0).any():
+        raise ValueError("saturating fit requires v > 0 observations")
+
+    def curve(v_, ceiling, half_v2):
+        return ceiling * v_**2 / (v_**2 + half_v2)
+
+    p0 = (max(float(a.max()), 1e-3), 1.0)
+    (ceiling, half_v2), _ = optimize.curve_fit(
+        curve, v, a, p0=p0, bounds=([1e-6, 1e-6], [np.inf, np.inf]), maxfev=10_000
+    )
+    return SaturatingImpactModel(ceiling=float(ceiling), half_v2=float(half_v2))

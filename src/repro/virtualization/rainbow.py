@@ -1,0 +1,242 @@
+"""Rainbow-like on-demand resource flowing controllers.
+
+The paper's testbed runs *Rainbow*, the authors' Xen-based prototype that
+"dynamically controls resources allocation among concurrent services via
+on-demand resource flowing algorithms".  The utility analytic model's
+fourth assumption idealises this: whenever a request is waiting, no
+capacity is idle.  Real controllers only approximate that, and the model's
+first application scores them by how close they come to the analytic bound.
+
+This module provides the controller family used by the data-center
+simulation's consolidated scenario:
+
+- :class:`StaticPartition` — capacity split by fixed shares, never moved
+  (the *no flowing* baseline: a consolidated box degenerates into rigid
+  slices, wasting exactly the capacity consolidation was meant to pool);
+- :class:`ProportionalFlow` — each control period, capacity is re-divided
+  in proportion to current demand (queue pressure), work-conservingly;
+- :class:`PriorityFlow` — Rainbow's service-priority scheme [22]: higher
+  priority services are satisfied first, leftovers flow downward;
+- :class:`IdealFlow` — the model's assumption 4 itself: capacity follows
+  demand instantly and exactly (upper bound, used to validate the model);
+- :class:`PredictiveFlow` — EWMA-forecast reactive control, quantifying
+  the lag penalty real controllers pay on bursts.
+
+Controllers are pure policies: ``shares(demands, capacity)`` returns the
+capacity each service may use this period.  Overhead of re-allocation is
+modelled as a capacity tax per *change*, letting the ablation bench show
+why the model (which ignores the tax) is an upper bound.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = [
+    "FlowController",
+    "StaticPartition",
+    "ProportionalFlow",
+    "PriorityFlow",
+    "IdealFlow",
+    "PredictiveFlow",
+]
+
+
+def _validate(demands: Mapping[str, float], capacity: float) -> None:
+    if capacity < 0.0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    for name, d in demands.items():
+        if d < 0.0:
+            raise ValueError(f"demand for {name!r} must be non-negative, got {d}")
+
+
+class FlowController(abc.ABC):
+    """Policy deciding how host capacity is divided among services."""
+
+    #: Fraction of capacity lost per reallocation event (VM reconfiguration,
+    #: ballooning, vCPU hot-plug...).  Zero for the ideal controller.
+    reallocation_tax: float = 0.0
+
+    @abc.abstractmethod
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        """Capacity granted to each service for the next control period.
+
+        Grants must be non-negative and sum to at most ``capacity``.
+        """
+
+    def effective_capacity(self, capacity: float, changed: bool) -> float:
+        """Capacity net of the reallocation tax when shares changed."""
+        if changed and self.reallocation_tax > 0.0:
+            return capacity * (1.0 - self.reallocation_tax)
+        return capacity
+
+
+@dataclass
+class StaticPartition(FlowController):
+    """Fixed shares, set once — no capability flowing at all."""
+
+    fractions: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values())
+        if not self.fractions:
+            raise ValueError("at least one partition fraction required")
+        if any(f < 0.0 for f in self.fractions.values()):
+            raise ValueError(f"fractions must be non-negative, got {self.fractions}")
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fractions sum to {total} > 1")
+
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        _validate(demands, capacity)
+        return {name: capacity * frac for name, frac in self.fractions.items()}
+
+
+@dataclass
+class ProportionalFlow(FlowController):
+    """Demand-proportional, work-conserving reallocation each period.
+
+    When capacity binds, every service is rationed to the same fraction of
+    its demand (proportional fairness: equal loss fractions); grants capped
+    by a service's demand are redistributed to the still-hungry, so no
+    capacity is parked while any service wants more.  ``reallocation_tax``
+    models the control overhead of moving capacity between VMs.
+    """
+
+    reallocation_tax: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reallocation_tax < 1.0:
+            raise ValueError(
+                f"reallocation tax must lie in [0, 1), got {self.reallocation_tax}"
+            )
+
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        _validate(demands, capacity)
+        grants = {name: 0.0 for name in demands}
+        remaining = dict(demands)
+        pool = capacity
+        hungry = [n for n, d in remaining.items() if d > 1e-12]
+        while hungry and pool > 1e-12:
+            total_want = sum(remaining[n] for n in hungry)
+            distributed = 0.0
+            next_hungry = []
+            for name in hungry:
+                share = pool * remaining[name] / total_want
+                take = min(share, remaining[name])
+                grants[name] += take
+                remaining[name] -= take
+                distributed += take
+                if remaining[name] > 1e-12:
+                    next_hungry.append(name)
+            pool -= distributed
+            if distributed <= 1e-12:
+                break
+            hungry = next_hungry
+        return grants
+
+
+@dataclass
+class PriorityFlow(FlowController):
+    """Strict-priority capability flowing (Rainbow's scheme [22]).
+
+    ``priority_order`` lists services highest-priority first; each is
+    satisfied in full (up to its demand) before the next sees any capacity.
+    Services absent from the order are served last, demand-proportionally.
+    """
+
+    priority_order: Sequence[str] = ()
+    reallocation_tax: float = 0.0
+
+    def __post_init__(self) -> None:
+        order = tuple(self.priority_order)
+        if len(set(order)) != len(order):
+            raise ValueError(f"duplicate names in priority order: {order}")
+        if not 0.0 <= self.reallocation_tax < 1.0:
+            raise ValueError(
+                f"reallocation tax must lie in [0, 1), got {self.reallocation_tax}"
+            )
+        self.priority_order = order
+
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        _validate(demands, capacity)
+        grants = {name: 0.0 for name in demands}
+        pool = capacity
+        for name in self.priority_order:
+            if name not in demands or pool <= 0.0:
+                continue
+            take = min(demands[name], pool)
+            grants[name] = take
+            pool -= take
+        rest = {n: d for n, d in demands.items() if n not in self.priority_order}
+        if rest and pool > 0.0:
+            sub = ProportionalFlow().shares(rest, pool)
+            for name, g in sub.items():
+                grants[name] += g
+        return grants
+
+
+@dataclass
+class IdealFlow(FlowController):
+    """Assumption 4 of the model: capacity follows demand instantly.
+
+    Identical maths to :class:`ProportionalFlow` with zero tax, but kept as
+    a distinct type so experiment configs read as intent ("compare the real
+    controller against the model's ideal").
+    """
+
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        _validate(demands, capacity)
+        return ProportionalFlow().shares(demands, capacity)
+
+
+@dataclass
+class PredictiveFlow(FlowController):
+    """EWMA-forecast flowing: allocate on *predicted*, not observed, demand.
+
+    Real controllers (including Rainbow) cannot reallocate instantaneously;
+    they act on the demand they expect next period.  This controller keeps
+    an exponentially weighted moving average per service and divides
+    capacity proportionally to the forecast, capping each grant at the
+    forecast (not the true demand, which it cannot see).
+
+    Behaviour relative to the others:
+
+    - on smooth demand it converges to :class:`ProportionalFlow`;
+    - on sudden bursts it lags by ~``1/alpha`` periods, losing the work
+      the forecast missed — quantifying the reactive-control penalty the
+      paper's model (assumption 4) idealises away.
+
+    The controller is stateful; create a fresh instance per run.
+    """
+
+    alpha: float = 0.3
+    reallocation_tax: float = 0.0
+    _forecast: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must lie in (0, 1], got {self.alpha}")
+        if not 0.0 <= self.reallocation_tax < 1.0:
+            raise ValueError(
+                f"reallocation tax must lie in [0, 1), got {self.reallocation_tax}"
+            )
+
+    def shares(self, demands: Mapping[str, float], capacity: float) -> dict[str, float]:
+        _validate(demands, capacity)
+        # Forecast for THIS period uses only past observations; bootstrap
+        # with the first observation (cold start grants nothing sensible
+        # otherwise).
+        forecast: dict[str, float] = {}
+        for name, observed in demands.items():
+            if name not in self._forecast:
+                self._forecast[name] = observed
+            forecast[name] = self._forecast[name]
+        grants = ProportionalFlow().shares(forecast, capacity)
+        # Update the EWMA with what actually arrived (for next period).
+        for name, observed in demands.items():
+            self._forecast[name] = (
+                self.alpha * observed + (1.0 - self.alpha) * self._forecast[name]
+            )
+        return grants

@@ -1,0 +1,34 @@
+"""Workload substrate: the paper's benchmark stand-ins.
+
+- :mod:`repro.workloads.traces` — diurnal service traces (Fig. 2);
+- :mod:`repro.workloads.specweb` — SPECweb2005-like Web model (Figs. 5/6);
+- :mod:`repro.workloads.tpcw` — TPC-W-like DB model (Figs. 7/8);
+- :mod:`repro.workloads.httperf` — open-loop rate-sweep driver.
+"""
+
+from .httperf import RateSweep, SweepResult
+from .sessions import SessionProfile, generate_session_arrivals, index_of_dispersion
+from .specweb import SINGLE_FILE_8KB, SPECWEB_FILESET, WebFileSet, WebServiceModel
+from .tpcw import DbServiceModel, TpcwWorkload
+from .traces import DiurnalProfile, TraceBundle, consolidation_headroom
+from .wan_traffic import MMPP2, hurst_rs, on_off_pareto_arrivals
+
+__all__ = [
+    "DiurnalProfile",
+    "TraceBundle",
+    "consolidation_headroom",
+    "WebFileSet",
+    "WebServiceModel",
+    "SPECWEB_FILESET",
+    "SINGLE_FILE_8KB",
+    "DbServiceModel",
+    "TpcwWorkload",
+    "RateSweep",
+    "SweepResult",
+    "SessionProfile",
+    "generate_session_arrivals",
+    "index_of_dispersion",
+    "MMPP2",
+    "on_off_pareto_arrivals",
+    "hurst_rs",
+]

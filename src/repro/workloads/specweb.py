@@ -1,0 +1,237 @@
+"""SPECweb2005-like e-commerce Web workload model.
+
+Substitutes the paper's SPECweb2005 + Apache + httperf stack.  Two pieces:
+
+- :class:`WebFileSet` — a synthetic static file population with the
+  heavy-tailed (bounded-Pareto) size distribution and Zipf popularity that
+  characterise web content.  Whether the working set fits the server's page
+  cache decides the bottleneck resource: the paper's Fig. 5 sweeps a 5.1 GB
+  file set (disk-I/O-bound) while Fig. 6 hammers a single cached 8 KB file
+  (CPU-bound).
+
+- :class:`WebServiceModel` — the open-loop throughput response surface.
+  Native capacity on the bottleneck resource comes from the paper's
+  measured serving rates (1420 req/s I/O-bound, 3360 req/s CPU-bound);
+  hosting the service in ``v`` VMs rescales capacity by the impact model
+  ``a(v)``.  The reply-rate curve follows the shape every curve in
+  Figs. 5a/6a shares: linear rise while the server keeps up, a peak at
+  capacity, degradation under overload (connection management burns
+  capacity), and a stable plateau.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.inputs import ResourceKind
+from ..queueing.distributions import ParetoBounded
+from ..virtualization.impact import (
+    WEB_CPU_IMPACT,
+    WEB_DISK_IO_IMPACT,
+    ConstantImpactModel,
+    ImpactModel,
+)
+
+__all__ = ["WebFileSet", "WebServiceModel", "SPECWEB_FILESET", "SINGLE_FILE_8KB"]
+
+
+@dataclass(frozen=True)
+class WebFileSet:
+    """Synthetic static content population.
+
+    ``total_bytes`` and ``files`` fix the population; sizes follow a
+    bounded Pareto (rescaled to hit the requested total), popularity a Zipf
+    law.  ``cache_bytes`` models the server's page cache: a working set
+    larger than the cache forces disk reads, making disk I/O the
+    bottleneck.
+    """
+
+    total_bytes: float
+    files: int
+    cache_bytes: float = 4.0 * 2**30  # what an 8 GB box leaves for page cache
+    zipf_s: float = 0.8
+    pareto_alpha: float = 1.2
+    #: The paper's Fig. 5 drives httperf to access the file set *orderly*
+    #: (cyclic scan); a cyclic scan over a set larger than the cache gets
+    #: zero LRU hits — the classic sequential-flooding pathology.
+    sequential_access: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0.0 or self.files < 1:
+            raise ValueError("need positive total size and at least one file")
+        if self.cache_bytes < 0.0:
+            raise ValueError("cache size must be non-negative")
+        if self.zipf_s <= 0.0 or self.pareto_alpha <= 0.0:
+            raise ValueError("zipf_s and pareto_alpha must be positive")
+
+    def sample_sizes(self, rng: np.random.Generator) -> np.ndarray:
+        """File sizes (bytes) summing to ``total_bytes`` (after rescale)."""
+        mean = self.total_bytes / self.files
+        dist = ParetoBounded(alpha=self.pareto_alpha, low=mean / 50.0, high=mean * 200.0)
+        raw = np.atleast_1d(dist.sample(rng, self.files))
+        return raw * (self.total_bytes / raw.sum())
+
+    def popularity(self) -> np.ndarray:
+        """Zipf access probabilities over the file population."""
+        ranks = np.arange(1, self.files + 1, dtype=float)
+        weights = ranks**-self.zipf_s
+        return weights / weights.sum()
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Fraction of requests absorbed by the page cache.
+
+        The cache holds the most popular files; with Zipf popularity the
+        hit fraction is the popularity mass of the cached prefix.  A
+        closed-form continuous approximation keeps this deterministic.
+        """
+        if self.total_bytes <= self.cache_bytes:
+            return 1.0
+        if self.sequential_access:
+            return 0.0  # cyclic scan beyond cache size: LRU never hits
+        cached_files = self.files * self.cache_bytes / self.total_bytes
+        # Zipf mass of the top-k prefix ~ H_k(s) / H_n(s); harmonic sums
+        # approximated by the integral (k^(1-s) - 1)/(1-s) for s != 1.
+        s = self.zipf_s
+        if abs(s - 1.0) < 1e-9:
+            top = math.log(max(cached_files, 1.0))
+            total = math.log(self.files)
+        else:
+            top = (max(cached_files, 1.0) ** (1.0 - s) - 1.0) / (1.0 - s)
+            total = (self.files ** (1.0 - s) - 1.0) / (1.0 - s)
+        return min(1.0, top / total) if total > 0.0 else 1.0
+
+    @property
+    def bottleneck(self) -> ResourceKind:
+        """Disk I/O when misses are frequent, CPU when content is cached."""
+        return (
+            ResourceKind.CPU
+            if self.cache_hit_fraction > 0.95
+            else ResourceKind.DISK_IO
+        )
+
+
+#: Fig. 5's population: SPECweb2005 file set, ~5.1 GB, ordered access.
+SPECWEB_FILESET = WebFileSet(
+    total_bytes=5.1 * 2**30, files=120_000, sequential_access=True
+)
+
+#: Fig. 6's population: one 8 KB file, always cached.
+SINGLE_FILE_8KB = WebFileSet(total_bytes=8.0 * 2**10, files=1)
+
+
+@dataclass(frozen=True)
+class WebServiceModel:
+    """Open-loop throughput response of the Web service on one host.
+
+    Parameters follow the paper's measurements: ``native_capacity`` is the
+    serving rate of the bottleneck resource on native Linux; ``vms = 0``
+    denotes native Linux, ``vms >= 1`` a Xen host with that many Web VMs
+    (capacity scaled by the impact model).
+    """
+
+    fileset: WebFileSet
+    native_capacity: float
+    impact_model: ImpactModel | None = None
+    #: Stable overload plateau relative to peak (curves "finally remain
+    #: stable" in Figs. 5a/6a).
+    stable_fraction: float = 0.82
+    #: Overload width: how many req/s past capacity the degradation takes.
+    overload_width_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.native_capacity <= 0.0:
+            raise ValueError("native capacity must be positive")
+        if not 0.0 < self.stable_fraction <= 1.0:
+            raise ValueError("stable fraction must lie in (0, 1]")
+        if self.overload_width_fraction <= 0.0:
+            raise ValueError("overload width must be positive")
+
+    @classmethod
+    def for_fileset(cls, fileset: WebFileSet) -> "WebServiceModel":
+        """Pick capacity and impact model from the file set's bottleneck."""
+        if fileset.bottleneck is ResourceKind.DISK_IO:
+            return cls(
+                fileset=fileset, native_capacity=1420.0, impact_model=WEB_DISK_IO_IMPACT
+            )
+        return cls(fileset=fileset, native_capacity=3360.0, impact_model=WEB_CPU_IMPACT)
+
+    def _impact(self, vms: int) -> float:
+        if vms == 0:
+            return 1.0  # native Linux
+        model = self.impact_model or ConstantImpactModel(1.0)
+        return model.impact(vms)
+
+    def capacity(self, vms: int) -> float:
+        """Peak sustainable reply rate with ``vms`` VMs (0 = native)."""
+        if vms < 0:
+            raise ValueError(f"vms must be non-negative, got {vms}")
+        return self.native_capacity * self._impact(vms)
+
+    def reply_rate(self, request_rate: np.ndarray, vms: int = 0) -> np.ndarray:
+        """Deterministic throughput curve (replies/s vs requests/s)."""
+        r = np.asarray(request_rate, dtype=float)
+        if (r < 0).any():
+            raise ValueError("request rates must be non-negative")
+        cap = self.capacity(vms)
+        width = cap * self.overload_width_fraction
+        stable = cap * self.stable_fraction
+        under = np.minimum(r, cap)
+        overload_depth = np.clip((r - cap) / width, 0.0, 1.0)
+        over = cap - (cap - stable) * overload_depth
+        return np.where(r <= cap, under, over)
+
+    def measure(
+        self,
+        request_rate: np.ndarray,
+        vms: int,
+        rng: np.random.Generator,
+        rel_noise: float = 0.02,
+    ) -> np.ndarray:
+        """Noisy throughput observations (what httperf would report)."""
+        if rel_noise < 0.0:
+            raise ValueError("noise must be non-negative")
+        clean = self.reply_rate(request_rate, vms)
+        noisy = clean * (1.0 + rel_noise * rng.standard_normal(clean.shape))
+        return np.clip(noisy, 0.0, None)
+
+    def stable_mean_throughput(
+        self,
+        vms: int,
+        rng: np.random.Generator | None = None,
+        rel_noise: float = 0.0,
+    ) -> float:
+        """Mean throughput over the stable overload region.
+
+        The paper computes impact factors from "the stable mean throughput"
+        of each curve; we average the plateau (requests from 1.5x to 2.5x
+        native capacity, mirroring their 700–1200 req/s window for Fig. 5).
+        """
+        rates = np.linspace(1.5 * self.native_capacity, 2.5 * self.native_capacity, 24)
+        if rng is None or rel_noise == 0.0:
+            values = self.reply_rate(rates, vms)
+        else:
+            values = self.measure(rates, vms, rng, rel_noise)
+        return float(values.mean())
+
+    def measured_impact_factors(
+        self,
+        vm_counts,
+        rng: np.random.Generator | None = None,
+        rel_noise: float = 0.0,
+    ) -> np.ndarray:
+        """Impact factors a(v) = stable VM throughput / stable native throughput.
+
+        This reproduces the paper's Figs. 5b/6b measurement procedure; the
+        experiments refit the regression lines from these values.
+        """
+        native = self.stable_mean_throughput(0, rng, rel_noise)
+        return np.array(
+            [
+                self.stable_mean_throughput(int(v), rng, rel_noise) / native
+                for v in np.atleast_1d(vm_counts)
+            ]
+        )

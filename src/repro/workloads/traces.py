@@ -1,0 +1,127 @@
+"""Synthetic diurnal workload traces (the paper's Fig. 2 motivation).
+
+Fig. 2 argues the case for consolidation: services peak at different times,
+so the peak of the *summed* workload is lower than the sum of per-service
+peaks — fewer machines cover the consolidated load at the same assurance
+level.  These generators produce the classic Internet-service diurnal shape
+(sinusoid + weekly modulation + Poisson-ish noise) with controllable phase,
+so experiments can sweep how phase alignment affects the consolidation
+dividend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DiurnalProfile", "TraceBundle", "consolidation_headroom"]
+
+_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """One service's deterministic daily rate profile plus noise level.
+
+    ``base`` is the off-peak rate, ``peak`` the daily maximum, reached at
+    hour ``peak_hour``; ``noise`` is the relative std of multiplicative
+    noise applied on sampling.
+    """
+
+    name: str
+    base: float
+    peak: float
+    peak_hour: float = 14.0
+    noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if self.base < 0.0 or self.peak < self.base:
+            raise ValueError(
+                f"{self.name}: need 0 <= base <= peak, got base={self.base} peak={self.peak}"
+            )
+        if not 0.0 <= self.peak_hour < _DAY:
+            raise ValueError(f"{self.name}: peak hour must lie in [0, 24)")
+        if self.noise < 0.0:
+            raise ValueError(f"{self.name}: noise must be non-negative")
+
+    def rate(self, hours: np.ndarray) -> np.ndarray:
+        """Deterministic rate at the given times (hours, vectorised)."""
+        t = np.asarray(hours, dtype=float)
+        phase = 2.0 * np.pi * (t - self.peak_hour) / _DAY
+        # Raised cosine: 1 at the peak hour, 0 at the antipode.
+        shape = 0.5 * (1.0 + np.cos(phase))
+        return self.base + (self.peak - self.base) * shape
+
+    def sample(self, hours: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Noisy observation of the profile (never negative)."""
+        clean = self.rate(hours)
+        noisy = clean * (1.0 + self.noise * rng.standard_normal(clean.shape))
+        return np.clip(noisy, 0.0, None)
+
+
+@dataclass(frozen=True)
+class TraceBundle:
+    """Sampled traces of several services on a common time grid."""
+
+    hours: np.ndarray
+    traces: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        for name, tr in self.traces.items():
+            if tr.shape != self.hours.shape:
+                raise ValueError(f"trace {name!r} does not match the time grid")
+
+    @classmethod
+    def sample(
+        cls,
+        profiles: list[DiurnalProfile],
+        days: float,
+        samples_per_hour: int,
+        rng: np.random.Generator,
+    ) -> "TraceBundle":
+        if not profiles:
+            raise ValueError("at least one profile required")
+        if days <= 0.0 or samples_per_hour < 1:
+            raise ValueError("days must be positive, samples_per_hour >= 1")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate profile names: {names}")
+        n = int(round(days * _DAY * samples_per_hour))
+        hours = np.linspace(0.0, days * _DAY, n, endpoint=False)
+        return cls(
+            hours=hours,
+            traces={p.name: p.sample(hours, rng) for p in profiles},
+        )
+
+    @property
+    def combined(self) -> np.ndarray:
+        """Point-wise sum — the consolidated workload trace."""
+        return np.sum(list(self.traces.values()), axis=0)
+
+    def per_service_peaks(self, quantile: float = 1.0) -> dict[str, float]:
+        """Per-service peak (or quantile) rates — dedicated sizing drivers."""
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+        return {
+            name: float(np.quantile(tr, quantile)) for name, tr in self.traces.items()
+        }
+
+    def combined_peak(self, quantile: float = 1.0) -> float:
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+        return float(np.quantile(self.combined, quantile))
+
+
+def consolidation_headroom(bundle: TraceBundle, quantile: float = 1.0) -> float:
+    """Fig. 2's claim as a number: ``1 - peak(sum) / sum(peaks)``.
+
+    Positive whenever peaks do not align perfectly; 0 when all services
+    peak simultaneously (no statistical multiplexing gain in the peak).
+    """
+    sum_of_peaks = sum(bundle.per_service_peaks(quantile).values())
+    if sum_of_peaks == 0.0:
+        return 0.0
+    return 1.0 - bundle.combined_peak(quantile) / sum_of_peaks

@@ -1,0 +1,90 @@
+"""Unit tests for sequential run-length control."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import run_until_precise
+
+
+class TestRunUntilPrecise:
+    def test_constant_statistic_converges_immediately(self):
+        est = run_until_precise(lambda i: 5.0, rel_precision=0.01)
+        assert est.converged
+        assert est.mean == 5.0
+        assert est.half_width == 0.0
+        assert est.replications == 5  # min_replications
+
+    def test_noisy_statistic_converges(self):
+        rng = np.random.default_rng(3)
+        est = run_until_precise(
+            lambda i: float(rng.normal(10.0, 1.0)), rel_precision=0.05
+        )
+        assert est.converged
+        assert est.mean == pytest.approx(10.0, abs=1.0)
+        assert est.relative_precision <= 0.05
+
+    def test_more_precision_more_replications(self):
+        def factory():
+            rng = np.random.default_rng(4)
+            return lambda i: float(rng.normal(10.0, 2.0))
+
+        loose = run_until_precise(factory(), rel_precision=0.2)
+        tight = run_until_precise(factory(), rel_precision=0.02, max_replications=2000)
+        assert tight.replications > loose.replications
+
+    def test_budget_cap_reports_nonconverged(self):
+        rng = np.random.default_rng(5)
+        est = run_until_precise(
+            lambda i: float(rng.normal(0.0, 100.0)),
+            rel_precision=0.001,
+            max_replications=10,
+        )
+        assert not est.converged
+        assert est.replications == 10
+
+    def test_absolute_precision_for_near_zero_stats(self):
+        rng = np.random.default_rng(6)
+        est = run_until_precise(
+            lambda i: float(rng.normal(0.0, 0.01)),
+            rel_precision=0.01,
+            abs_precision=0.02,
+            max_replications=500,
+        )
+        assert est.converged
+        assert est.half_width <= 0.02
+
+    def test_interval_brackets_mean(self):
+        rng = np.random.default_rng(7)
+        est = run_until_precise(lambda i: float(rng.normal(3.0, 0.5)))
+        lo, hi = est.interval
+        assert lo <= est.mean <= hi
+
+    def test_replicate_receives_indices(self):
+        seen = []
+        run_until_precise(lambda i: seen.append(i) or 1.0, rel_precision=0.5)
+        assert seen[:5] == [0, 1, 2, 3, 4]
+
+    def test_simulation_integration(self):
+        """Drive a real loss simulation to 10% relative precision."""
+        from repro.queueing.erlang import erlang_b
+        from repro.queueing.poisson import poisson_arrivals
+        from repro.simulation.loss_network import simulate_loss_system
+
+        def replicate(i: int) -> float:
+            rng = np.random.default_rng(1000 + i)
+            arrivals = poisson_arrivals(4.0, 2000.0, rng)
+            return simulate_loss_system(arrivals, 1.0, 4, rng).loss_probability
+
+        est = run_until_precise(replicate, rel_precision=0.1, max_replications=100)
+        assert est.converged
+        assert est.mean == pytest.approx(erlang_b(4, 4.0), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_until_precise(lambda i: 1.0, rel_precision=0.0)
+        with pytest.raises(ValueError):
+            run_until_precise(lambda i: 1.0, abs_precision=0.0)
+        with pytest.raises(ValueError):
+            run_until_precise(lambda i: 1.0, min_replications=1)
+        with pytest.raises(ValueError):
+            run_until_precise(lambda i: 1.0, max_replications=2, min_replications=5)

@@ -1,0 +1,70 @@
+"""Unit tests for the regression helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import LinearFit, fit_line, r_squared, residuals
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        y = 2.0 * x - 3.0
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(-3.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.n == 10
+
+    def test_noisy_line(self, rng):
+        x = np.linspace(0.0, 10.0, 200)
+        y = -0.5 * x + 4.0 + 0.1 * rng.standard_normal(x.size)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(-0.5, abs=0.02)
+        assert fit.r2 > 0.95
+
+    def test_predict(self):
+        fit = fit_line(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(fit.predict([2.0, 3.0]), [5.0, 7.0])
+
+    def test_str_is_informative(self):
+        s = str(fit_line(np.array([0.0, 1.0]), np.array([0.0, 1.0])))
+        assert "R^2" in s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_line(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_line(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestRSquared:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_model_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r_squared(y, pred) == pytest.approx(0.0)
+
+    def test_degenerate_constant_series(self):
+        y = np.array([5.0, 5.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, np.array([5.0, 6.0])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            r_squared(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            r_squared(np.empty(0), np.empty(0))
+
+
+class TestResiduals:
+    def test_basic(self):
+        r = residuals(np.array([1.0, 2.0]), np.array([0.5, 2.5]))
+        np.testing.assert_allclose(r, [0.5, -0.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            residuals(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,65 @@
+"""Unit tests for the report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_renders_rows_and_header(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "1" in lines[3] and "y" in lines[4]
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.000012345, "y": 123456.0, "z": 0.5}])
+        assert "e-05" in text
+        assert "e+05" in text
+        assert "0.5" in text
+
+    def test_nan_and_zero(self):
+        text = format_table([{"x": float("nan"), "y": 0.0}])
+        assert "nan" in text
+        assert "0" in text
+
+
+class TestFormatSeries:
+    def test_aligned_columns(self):
+        text = format_series(
+            [1.0, 2.0], {"f": [10.0, 20.0], "g": [1.0, 2.0]}, x_label="t"
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["t", "f", "g"]
+        assert len(lines) == 4
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([1.0, 2.0], {"f": [1.0]})
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        text = format_kv({"short": 1, "a_long_key": 2.5}, title="Summary")
+        lines = text.splitlines()
+        assert lines[0] == "Summary"
+        assert all(" : " in l for l in lines[1:])
+
+    def test_empty(self):
+        assert "(empty)" in format_kv({})

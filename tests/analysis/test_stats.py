@@ -1,0 +1,86 @@
+"""Unit tests for the statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    batch_means,
+    exponential_ks_test,
+    poisson_dispersion,
+)
+
+
+class TestBatchMeans:
+    def test_iid_normal_coverage(self, rng):
+        xs = rng.normal(10.0, 2.0, 10_000)
+        result = batch_means(xs, batches=20)
+        assert result.mean == pytest.approx(10.0, abs=0.2)
+        assert result.contains(10.0)
+        assert result.batch_size == 500
+
+    def test_correlated_series_wider_interval(self, rng):
+        # An AR(1) series has wider batch-means CI than iid of same length.
+        n = 8000
+        iid = rng.standard_normal(n)
+        ar = np.empty(n)
+        ar[0] = 0.0
+        eps = rng.standard_normal(n)
+        for i in range(1, n):
+            ar[i] = 0.9 * ar[i - 1] + eps[i]
+        assert (
+            batch_means(ar, batches=20).half_width
+            > batch_means(iid, batches=20).half_width
+        )
+
+    def test_interval_property(self, rng):
+        r = batch_means(rng.standard_normal(1000))
+        lo, hi = r.interval
+        assert lo <= r.mean <= hi
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            batch_means(rng.standard_normal(10), batches=1)
+        with pytest.raises(ValueError):
+            batch_means(np.array([1.0]), batches=5)
+        with pytest.raises(ValueError):
+            batch_means(rng.standard_normal(100), confidence=1.5)
+        with pytest.raises(ValueError):
+            batch_means(rng.standard_normal((10, 10)))
+
+
+class TestKsTest:
+    def test_accepts_true_distribution(self, rng):
+        xs = rng.exponential(0.5, 5000)
+        assert exponential_ks_test(xs, 2.0) > 0.01
+
+    def test_rejects_wrong_rate(self, rng):
+        xs = rng.exponential(0.5, 5000)
+        assert exponential_ks_test(xs, 10.0) < 1e-6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            exponential_ks_test(np.empty(0), 1.0)
+        with pytest.raises(ValueError):
+            exponential_ks_test(np.array([1.0]), 0.0)
+
+
+class TestDispersion:
+    def test_poisson_counts_near_one(self, rng):
+        counts = rng.poisson(10.0, 5000)
+        assert poisson_dispersion(counts) == pytest.approx(1.0, abs=0.1)
+
+    def test_bursty_counts_exceed_one(self, rng):
+        # Mixed-rate (doubly stochastic) counts are overdispersed.
+        rates = rng.choice([1.0, 30.0], 5000)
+        counts = rng.poisson(rates)
+        assert poisson_dispersion(counts) > 2.0
+
+    def test_constant_counts_zero(self):
+        assert poisson_dispersion(np.full(10, 7.0)) == 0.0
+
+    def test_zero_mean(self):
+        assert poisson_dispersion(np.zeros(10)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_dispersion(np.array([1.0]))

@@ -1,0 +1,111 @@
+"""Unit tests for availability / N+k redundancy planning."""
+
+import pytest
+
+from repro.cluster.availability import (
+    ServerReliability,
+    expected_loss_with_failures,
+    fleet_up_probability,
+    servers_with_redundancy,
+)
+from repro.queueing.erlang import erlang_b
+
+
+GOOD = ServerReliability(mtbf=4380.0, mttr=8.0)      # A ~ 0.9982
+FLAKY = ServerReliability(mtbf=100.0, mttr=20.0)     # A ~ 0.833
+
+
+class TestServerReliability:
+    def test_availability(self):
+        assert GOOD.availability == pytest.approx(4380.0 / 4388.0)
+        assert FLAKY.availability == pytest.approx(100.0 / 120.0)
+
+    def test_annual_failures(self):
+        assert GOOD.annual_failures == pytest.approx(8766.0 / 4380.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerReliability(mtbf=0.0, mttr=1.0)
+        with pytest.raises(ValueError):
+            ServerReliability(mtbf=1.0, mttr=0.0)
+
+
+class TestFleetUpProbability:
+    def test_single_machine(self):
+        assert fleet_up_probability(1, 1, GOOD) == pytest.approx(GOOD.availability)
+
+    def test_zero_required_always_met(self):
+        assert fleet_up_probability(0, 0, FLAKY) == 1.0
+        assert fleet_up_probability(5, 0, FLAKY) == 1.0
+
+    def test_more_required_than_fleet(self):
+        assert fleet_up_probability(3, 4, GOOD) == 0.0
+
+    def test_monotone_in_fleet(self):
+        probs = [fleet_up_probability(n, 4, FLAKY) for n in range(4, 10)]
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fleet_up_probability(-1, 0, GOOD)
+
+
+class TestRedundancySizing:
+    def test_definition_holds(self):
+        n = servers_with_redundancy(4, FLAKY, assurance=0.99)
+        assert fleet_up_probability(n, 4, FLAKY) >= 0.99
+        assert fleet_up_probability(n - 1, 4, FLAKY) < 0.99
+
+    def test_reliable_hardware_needs_little(self):
+        # A = 99.8%: one spare covers 4-required at 3 nines.
+        n = servers_with_redundancy(4, GOOD, assurance=0.999)
+        assert n <= 5
+
+    def test_flaky_hardware_needs_more(self):
+        n_good = servers_with_redundancy(8, GOOD, assurance=0.999)
+        n_flaky = servers_with_redundancy(8, FLAKY, assurance=0.999)
+        assert n_flaky > n_good
+
+    def test_tighter_assurance_more_servers(self):
+        lax = servers_with_redundancy(6, FLAKY, assurance=0.9)
+        tight = servers_with_redundancy(6, FLAKY, assurance=0.9999)
+        assert tight >= lax
+
+    def test_zero_required(self):
+        assert servers_with_redundancy(0, FLAKY) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            servers_with_redundancy(-1, GOOD)
+        with pytest.raises(ValueError):
+            servers_with_redundancy(1, GOOD, assurance=1.0)
+
+
+class TestExpectedLossWithFailures:
+    def test_perfect_hardware_reduces_to_erlang(self):
+        solid = ServerReliability(mtbf=1e12, mttr=1e-6)
+        assert expected_loss_with_failures(4, 2.0, solid) == pytest.approx(
+            erlang_b(4, 2.0), abs=1e-9
+        )
+
+    def test_failures_raise_expected_loss(self):
+        healthy = erlang_b(4, 2.0)
+        assert expected_loss_with_failures(4, 2.0, FLAKY) > healthy
+
+    def test_redundant_fleet_restores_target(self):
+        # Size the fleet for load, then add redundancy: expected loss with
+        # failures returns near the no-failure target.
+        from repro.queueing.erlang import min_servers
+
+        required = min_servers(2.0, 0.01)
+        fleet = servers_with_redundancy(required, FLAKY, assurance=0.99)
+        degraded = expected_loss_with_failures(required, 2.0, FLAKY)
+        restored = expected_loss_with_failures(fleet, 2.0, FLAKY)
+        assert restored < degraded
+        assert restored < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_loss_with_failures(-1, 1.0, GOOD)
+        with pytest.raises(ValueError):
+            expected_loss_with_failures(1, -1.0, GOOD)

@@ -1,0 +1,61 @@
+"""Property-based tests for availability / redundancy planning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.availability import (
+    ServerReliability,
+    expected_loss_with_failures,
+    fleet_up_probability,
+    servers_with_redundancy,
+)
+from repro.queueing.erlang import erlang_b
+
+mtbfs = st.floats(min_value=10.0, max_value=100_000.0, allow_nan=False)
+mttrs = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+fleets = st.integers(min_value=1, max_value=40)
+loads = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+
+
+@st.composite
+def reliabilities(draw):
+    return ServerReliability(mtbf=draw(mtbfs), mttr=draw(mttrs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets, st.integers(min_value=0, max_value=40), reliabilities())
+def test_up_probability_is_probability(fleet, required, rel):
+    p = fleet_up_probability(fleet, required, rel)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets, reliabilities())
+def test_up_probability_monotone_in_requirement(fleet, rel):
+    probs = [fleet_up_probability(fleet, r, rel) for r in range(fleet + 1)]
+    assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=20), reliabilities(),
+       st.floats(min_value=0.5, max_value=0.9999))
+def test_redundancy_sizing_definition(required, rel, assurance):
+    fleet = servers_with_redundancy(required, rel, assurance)
+    assert fleet >= required
+    assert fleet_up_probability(fleet, required, rel) >= assurance - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets, loads, reliabilities())
+def test_failure_averaged_loss_bounds(fleet, load, rel):
+    value = expected_loss_with_failures(fleet, load, rel)
+    # Bounded by the failure-free Erlang value below and 1 above.
+    assert erlang_b(fleet, load) - 1e-12 <= value <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(fleets, loads, reliabilities(), st.integers(min_value=1, max_value=5))
+def test_spares_reduce_expected_loss(fleet, load, rel, spares):
+    base = expected_loss_with_failures(fleet, load, rel)
+    with_spares = expected_loss_with_failures(fleet + spares, load, rel)
+    assert with_spares <= base + 1e-12

@@ -1,0 +1,94 @@
+"""Unit tests for the LVS-style dispatchers."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.cluster.dispatcher import (
+    LeastConnectionsDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    WeightedRoundRobinDispatcher,
+    make_dispatcher,
+)
+
+
+class TestRoundRobin:
+    def test_strict_rotation(self):
+        d = RoundRobinDispatcher(3)
+        assert [d.pick() for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_perfect_balance(self):
+        d = RoundRobinDispatcher(4)
+        counts = collections.Counter(d.pick() for _ in range(400))
+        assert set(counts.values()) == {100}
+
+    def test_rejects_zero_backends(self):
+        with pytest.raises(ValueError):
+            RoundRobinDispatcher(0)
+
+    def test_in_flight_length_checked(self):
+        d = RoundRobinDispatcher(2)
+        with pytest.raises(ValueError):
+            d.pick(in_flight=[0])
+
+
+class TestWeightedRoundRobin:
+    def test_weights_respected(self):
+        d = WeightedRoundRobinDispatcher([3, 1])
+        counts = collections.Counter(d.pick() for _ in range(400))
+        assert counts[0] == 300
+        assert counts[1] == 100
+
+    def test_smooth_interleaving(self):
+        # Smooth WRR spreads the heavy backend rather than bursting it.
+        d = WeightedRoundRobinDispatcher([2, 1])
+        seq = [d.pick() for _ in range(6)]
+        assert seq == [0, 1, 0, 0, 1, 0]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedRoundRobinDispatcher([0, 1])
+
+
+class TestRandom:
+    def test_roughly_uniform(self):
+        d = RandomDispatcher(4, rng=np.random.default_rng(7))
+        counts = collections.Counter(d.pick() for _ in range(4000))
+        for i in range(4):
+            assert counts[i] == pytest.approx(1000, rel=0.15)
+
+
+class TestLeastConnections:
+    def test_picks_least_loaded(self):
+        d = LeastConnectionsDispatcher(3)
+        assert d.pick(in_flight=[5, 2, 7]) == 1
+
+    def test_ties_rotate(self):
+        d = LeastConnectionsDispatcher(3)
+        picks = [d.pick(in_flight=[0, 0, 0]) for _ in range(3)]
+        assert sorted(picks) == [0, 1, 2]
+
+    def test_requires_in_flight(self):
+        d = LeastConnectionsDispatcher(2)
+        with pytest.raises(ValueError):
+            d.pick()
+
+
+class TestFactory:
+    def test_policies(self):
+        assert isinstance(make_dispatcher("rr", 2), RoundRobinDispatcher)
+        assert isinstance(
+            make_dispatcher("wrr", 2, weights=[1, 2]), WeightedRoundRobinDispatcher
+        )
+        assert isinstance(make_dispatcher("lc", 2), LeastConnectionsDispatcher)
+        assert isinstance(make_dispatcher("random", 2), RandomDispatcher)
+
+    def test_wrr_requires_weights(self):
+        with pytest.raises(ValueError):
+            make_dispatcher("wrr", 2)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_dispatcher("magic", 2)

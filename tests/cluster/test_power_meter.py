@@ -1,0 +1,103 @@
+"""Unit tests for the simulated power meter."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pool import ServerPool
+from repro.cluster.power_meter import PowerMeter, apply_platform_effect
+from repro.core.inputs import ResourceKind
+from repro.core.power import ServerPowerModel
+
+CPU = ResourceKind.CPU
+
+
+def make_pool(n=4, base=100.0, mx=200.0):
+    return ServerPool.homogeneous(n, power_model=ServerPowerModel(base, mx))
+
+
+class TestPowerMeter:
+    def test_idle_fleet_energy(self):
+        pool = make_pool(4)
+        meter = PowerMeter(pool)
+        meter.sample(0.0)
+        meter.sample(10.0)
+        reading = meter.reading()
+        assert reading.total_energy == pytest.approx(4 * 100.0 * 10.0)
+        assert reading.idle_energy == pytest.approx(reading.total_energy)
+        assert reading.workload_energy == pytest.approx(0.0)
+        assert reading.mean_power == pytest.approx(400.0)
+
+    def test_loaded_fleet_energy(self):
+        pool = make_pool(2)
+        meter = PowerMeter(pool)
+        meter.sample(0.0)
+        pool.apply_uniform_load(CPU, 1.0)
+        meter.sample(0.0)  # register the new state at t=0
+        meter.sample(5.0)
+        reading = meter.reading()
+        assert reading.total_energy == pytest.approx(2 * 200.0 * 5.0)
+        assert reading.idle_energy == pytest.approx(2 * 100.0 * 5.0)
+        assert reading.workload_energy == pytest.approx(1000.0)
+        assert reading.busy_over_idle == pytest.approx(1.0)
+
+    def test_step_change_midway(self):
+        pool = make_pool(1)
+        meter = PowerMeter(pool)
+        meter.sample(0.0)
+        meter.sample(5.0)  # idle for 5 s
+        pool.apply_uniform_load(CPU, 1.0)
+        meter.sample(5.0)  # state change at t=5
+        meter.sample(10.0)  # loaded for 5 s
+        reading = meter.reading()
+        assert reading.total_energy == pytest.approx(100.0 * 5.0 + 200.0 * 5.0)
+
+    def test_out_of_order_samples_rejected(self):
+        meter = PowerMeter(make_pool(1))
+        meter.sample(5.0)
+        with pytest.raises(ValueError):
+            meter.sample(4.0)
+
+    def test_empty_reading(self):
+        reading = PowerMeter(make_pool(1)).reading()
+        assert reading.duration == 0.0
+        assert reading.total_energy == 0.0
+        assert reading.samples == 0
+
+    def test_integrate_profile(self):
+        pool = make_pool(1)
+        meter = PowerMeter(pool)
+        times = np.array([0.0, 10.0, 20.0])
+        utils = np.array([0.0, 1.0, 1.0])
+        reading = meter.integrate_profile(times, utils)
+        # 10 s idle + 10 s full load.
+        assert reading.total_energy == pytest.approx(100.0 * 10.0 + 200.0 * 10.0)
+        assert reading.duration == pytest.approx(20.0)
+
+    def test_integrate_profile_validation(self):
+        meter = PowerMeter(make_pool(1))
+        with pytest.raises(ValueError):
+            meter.integrate_profile(np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            meter.integrate_profile(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        with pytest.raises(ValueError):
+            meter.integrate_profile(np.array([1.0, 0.0]), np.array([0.0, 0.0]))
+
+
+class TestPlatformEffect:
+    def test_idle_factor_scales_base(self):
+        pool = make_pool(2, base=100.0, mx=200.0)
+        apply_platform_effect(pool, idle_factor=0.91, dynamic_factor=1.0)
+        assert pool.total_idle_draw() == pytest.approx(2 * 91.0)
+        # Dynamic range preserved.
+        pool.apply_uniform_load(CPU, 1.0)
+        assert pool.total_draw() == pytest.approx(2 * (91.0 + 100.0))
+
+    def test_dynamic_factor_scales_range(self):
+        pool = make_pool(1, base=100.0, mx=200.0)
+        apply_platform_effect(pool, idle_factor=1.0, dynamic_factor=0.7)
+        pool.apply_uniform_load(CPU, 1.0)
+        assert pool.total_draw() == pytest.approx(100.0 + 70.0)
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ValueError):
+            apply_platform_effect(make_pool(1), idle_factor=0.0)

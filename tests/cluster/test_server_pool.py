@@ -1,0 +1,128 @@
+"""Unit tests for PhysicalServer and ServerPool."""
+
+import pytest
+
+from repro.cluster.pool import ServerPool
+from repro.cluster.server import PhysicalServer
+from repro.core.inputs import ResourceKind
+from repro.core.power import ServerPowerModel
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+class TestPhysicalServer:
+    def test_defaults(self):
+        s = PhysicalServer()
+        assert s.powered_on
+        assert s.utilization(CPU) == 0.0
+        assert s.power_draw() == pytest.approx(250.0)
+
+    def test_power_draw_follows_dominant_utilization(self):
+        s = PhysicalServer(power_model=ServerPowerModel(100.0, 200.0))
+        s.set_utilization(CPU, 0.2)
+        s.set_utilization(DISK, 0.6)
+        assert s.dominant_utilization == pytest.approx(0.6)
+        assert s.power_draw() == pytest.approx(160.0)
+
+    def test_power_off_zeroes_everything(self):
+        s = PhysicalServer()
+        s.set_utilization(CPU, 0.9)
+        s.power_off()
+        assert s.power_draw() == 0.0
+        assert s.idle_draw() == 0.0
+        assert s.utilization(CPU) == 0.0
+
+    def test_cannot_load_powered_off_server(self):
+        s = PhysicalServer()
+        s.power_off()
+        with pytest.raises(RuntimeError):
+            s.set_utilization(CPU, 0.5)
+
+    def test_unknown_resource_raises(self):
+        s = PhysicalServer(capacity={CPU: 1.0})
+        with pytest.raises(KeyError):
+            s.set_utilization(DISK, 0.5)
+
+    def test_rejects_bad_utilization(self):
+        s = PhysicalServer()
+        with pytest.raises(ValueError):
+            s.set_utilization(CPU, 1.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PhysicalServer(capacity={})
+        with pytest.raises(ValueError):
+            PhysicalServer(capacity={CPU: 0.0})
+
+    def test_auto_names_unique(self):
+        a, b = PhysicalServer(), PhysicalServer()
+        assert a.name != b.name
+
+
+class TestServerPool:
+    def test_homogeneous_factory(self):
+        pool = ServerPool.homogeneous(4)
+        assert len(pool) == 4
+        assert pool.total_capacity(CPU) == pytest.approx(4.0)
+
+    def test_duplicate_names_rejected(self):
+        s = PhysicalServer(name="x")
+        t = PhysicalServer(name="x")
+        with pytest.raises(ValueError):
+            ServerPool([s, t])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPool([])
+
+    def test_by_name(self):
+        pool = ServerPool.homogeneous(2, name_prefix="srv")
+        assert pool.by_name("srv-1").name == "srv-1"
+        with pytest.raises(KeyError):
+            pool.by_name("nope")
+
+    def test_shrink_powers_off_excess(self):
+        pool = ServerPool.homogeneous(8)
+        switched = pool.shrink_to(4)
+        assert switched == 4
+        assert len(pool.powered_on) == 4
+        assert pool.total_capacity(CPU) == pytest.approx(4.0)
+
+    def test_grow_restores(self):
+        pool = ServerPool.homogeneous(8)
+        pool.shrink_to(3)
+        assert pool.grow_to(6) == 3
+        assert len(pool.powered_on) == 6
+
+    def test_shrink_grow_idempotent(self):
+        pool = ServerPool.homogeneous(4)
+        assert pool.shrink_to(10) == 0
+        assert pool.grow_to(2) == 0  # already above
+
+    def test_total_draw_reflects_shrink(self):
+        pool = ServerPool.homogeneous(8)
+        full = pool.total_draw()
+        pool.shrink_to(4)
+        assert pool.total_draw() == pytest.approx(full / 2.0)
+
+    def test_uniform_load_and_mean_utilization(self):
+        pool = ServerPool.homogeneous(4)
+        pool.apply_uniform_load(CPU, 0.5)
+        assert pool.mean_utilization(CPU) == pytest.approx(0.5)
+
+    def test_uniform_load_skips_powered_off(self):
+        pool = ServerPool.homogeneous(4)
+        pool.shrink_to(2)
+        pool.apply_uniform_load(CPU, 0.8)
+        assert pool.mean_utilization(CPU) == pytest.approx(0.8)
+        assert pool.total_draw() > 0.0
+
+    def test_rejects_negative_counts(self):
+        pool = ServerPool.homogeneous(2)
+        with pytest.raises(ValueError):
+            pool.shrink_to(-1)
+        with pytest.raises(ValueError):
+            pool.grow_to(-1)
+        with pytest.raises(ValueError):
+            ServerPool.homogeneous(0)

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; every test using randomness gets the same seed."""
+    return np.random.default_rng(20090101)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic streams within one test."""
+
+    def make(seed: int = 0):
+        return np.random.default_rng(900 + seed)
+
+    return make

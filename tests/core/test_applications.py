@@ -1,0 +1,106 @@
+"""Unit tests for the Section III.B.4 model applications."""
+
+import pytest
+
+from repro.core.applications import (
+    QosBound,
+    allocation_algorithm_bound,
+    allocation_algorithm_score,
+    virtualization_bound,
+)
+from repro.core.inputs import ModelInputs, ResourceKind, ServiceSpec
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+def group2_inputs():
+    web = ServiceSpec(
+        "web", 1200.0, {CPU: 3360.0, DISK: 1420.0}, {CPU: 0.65, DISK: 0.8}
+    )
+    db = ServiceSpec("db", 80.0, {CPU: 100.0}, {CPU: 0.9})
+    return ModelInputs((web, db), 0.01)
+
+
+class TestQosBound:
+    def test_goodput_accessors(self):
+        b = QosBound(servers=4, dedicated_loss=0.2, consolidated_loss=0.05)
+        assert b.dedicated_goodput == pytest.approx(0.8)
+        assert b.consolidated_goodput == pytest.approx(0.95)
+        assert b.improvement == pytest.approx(0.95 / 0.8)
+
+    def test_total_loss_dedicated(self):
+        b = QosBound(servers=1, dedicated_loss=1.0, consolidated_loss=0.5)
+        assert b.improvement == float("inf")
+
+
+class TestAllocationBound:
+    def test_consolidation_improves_goodput(self):
+        bound = allocation_algorithm_bound(group2_inputs())
+        assert bound.improvement > 1.0
+
+    def test_defaults_to_consolidated_sizing(self):
+        bound = allocation_algorithm_bound(group2_inputs())
+        assert bound.servers == 4  # Group 2's N
+
+    def test_explicit_server_count(self):
+        bound = allocation_algorithm_bound(group2_inputs(), servers=8)
+        assert bound.servers == 8
+        # At the full dedicated sizing both deployments barely block.
+        assert bound.dedicated_loss <= 0.02
+        assert bound.improvement == pytest.approx(1.0, abs=0.02)
+
+    def test_fewer_servers_larger_improvement(self):
+        loose = allocation_algorithm_bound(group2_inputs(), servers=6)
+        tight = allocation_algorithm_bound(group2_inputs(), servers=4)
+        assert tight.improvement >= loose.improvement
+
+    def test_rejects_nonpositive_servers(self):
+        with pytest.raises(ValueError):
+            allocation_algorithm_bound(group2_inputs(), servers=0)
+
+
+class TestVirtualizationBound:
+    def test_ideal_hypervisor_beats_xen_at_same_size(self):
+        inputs = group2_inputs()
+        xen = allocation_algorithm_bound(inputs, servers=4)
+        ideal = virtualization_bound(inputs, servers=4)
+        assert ideal.consolidated_loss <= xen.consolidated_loss + 1e-12
+
+    def test_ideal_bound_improvement_exceeds_one(self):
+        assert virtualization_bound(group2_inputs(), servers=4).improvement > 1.0
+
+
+class TestAllocationScore:
+    def test_optimal_algorithm_scores_one(self):
+        inputs = group2_inputs()
+        bound = allocation_algorithm_bound(inputs)
+        assert allocation_algorithm_score(bound.improvement, inputs) == pytest.approx(
+            1.0
+        )
+
+    def test_no_improvement_scores_zero(self):
+        assert allocation_algorithm_score(1.0, group2_inputs()) == pytest.approx(0.0)
+
+    def test_midway_scores_half(self):
+        inputs = group2_inputs()
+        bound = allocation_algorithm_bound(inputs)
+        mid = 1.0 + (bound.improvement - 1.0) / 2.0
+        assert allocation_algorithm_score(mid, inputs) == pytest.approx(0.5, abs=0.01)
+
+    def test_super_optimal_clipped(self):
+        inputs = group2_inputs()
+        bound = allocation_algorithm_bound(inputs)
+        assert allocation_algorithm_score(bound.improvement * 1.5, inputs) == 1.0
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            allocation_algorithm_score(0.0, group2_inputs())
+
+    def test_no_headroom_case(self):
+        # Single service, no overhead: consolidation offers nothing; any
+        # non-degrading algorithm scores 1.
+        s = ServiceSpec("solo", 50.0, {CPU: 100.0})
+        inputs = ModelInputs((s,), 0.01)
+        assert allocation_algorithm_score(1.0, inputs) == 1.0
+        assert allocation_algorithm_score(0.9, inputs) == pytest.approx(0.9)

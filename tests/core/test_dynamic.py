@@ -1,0 +1,128 @@
+"""Unit tests for the multi-period dynamic capacity planner."""
+
+import pytest
+
+from repro.core.dynamic import DynamicCapacityPlanner
+from repro.core.inputs import ResourceKind, ServiceSpec
+from repro.core.power import ServerPowerModel
+
+CPU = ResourceKind.CPU
+
+
+def services():
+    return [
+        ServiceSpec("web", 1.0, {CPU: 100.0}, {CPU: 0.8}),
+        ServiceSpec("db", 1.0, {CPU: 50.0}, {CPU: 0.9}),
+    ]
+
+
+def planner(**kw):
+    defaults = dict(
+        services=services(),
+        loss_probability=0.01,
+        power_model=ServerPowerModel(100.0, 150.0),
+        period_length=3600.0,
+        hold_periods=0,
+        boot_energy=0.0,
+    )
+    defaults.update(kw)
+    return DynamicCapacityPlanner(**defaults)
+
+
+DAY = [
+    {"web": 50.0, "db": 10.0},   # night
+    {"web": 50.0, "db": 10.0},
+    {"web": 400.0, "db": 60.0},  # morning ramp
+    {"web": 800.0, "db": 120.0}, # peak
+    {"web": 800.0, "db": 120.0},
+    {"web": 200.0, "db": 30.0},  # evening
+]
+
+
+class TestServersNeeded:
+    def test_monotone_in_load(self):
+        p = planner()
+        low = p.servers_needed({"web": 50.0, "db": 10.0})
+        high = p.servers_needed({"web": 800.0, "db": 120.0})
+        assert high > low
+
+    def test_min_servers_floor(self):
+        p = planner(min_servers=3)
+        assert p.servers_needed({"web": 0.1, "db": 0.1}) == 3
+
+    def test_missing_service_raises(self):
+        with pytest.raises(KeyError):
+            planner().servers_needed({"web": 1.0})
+
+    def test_offered_mode_needs_at_least_paper(self):
+        rates = {"web": 800.0, "db": 120.0}
+        assert planner(load_model="offered").servers_needed(
+            rates
+        ) >= planner().servers_needed(rates)
+
+
+class TestPlan:
+    def test_follows_demand(self):
+        plan = planner().plan(DAY)
+        ons = [p.servers_on for p in plan.periods]
+        needs = [p.servers_needed for p in plan.periods]
+        assert ons == needs  # no hysteresis, zero boot cost
+        assert plan.peak_servers == max(needs)
+
+    def test_energy_saving_positive(self):
+        plan = planner().plan(DAY)
+        assert plan.energy_saving > 0.0
+        assert plan.total_energy < plan.static_energy
+
+    def test_qos_never_sacrificed(self):
+        # Powered-on servers never fall below the period's requirement.
+        plan = planner(hold_periods=2).plan(DAY)
+        for p in plan.periods:
+            assert p.servers_on >= p.servers_needed
+
+    def test_hysteresis_delays_shrinking(self):
+        eager = planner(hold_periods=0).plan(DAY)
+        lazy = planner(hold_periods=2).plan(DAY)
+        assert lazy.mean_servers_on >= eager.mean_servers_on
+        assert lazy.total_energy >= eager.total_energy
+
+    def test_boot_energy_charged(self):
+        free = planner(boot_energy=0.0).plan(DAY)
+        costly = planner(boot_energy=1e6).plan(DAY)
+        assert costly.boot_energy_spent > 0.0
+        assert costly.total_energy > free.total_energy
+
+    def test_utilization_bounded(self):
+        plan = planner().plan(DAY)
+        for p in plan.periods:
+            assert 0.0 <= p.utilization <= 1.0
+
+    def test_booted_and_shutdown_bookkeeping(self):
+        plan = planner().plan(DAY)
+        on = plan.periods[0].servers_needed
+        for p in plan.periods:
+            on = on + p.booted - p.shut_down
+            assert on == p.servers_on
+
+    def test_rows_render(self):
+        rows = planner().plan(DAY).rows()
+        assert len(rows) == len(DAY)
+        assert {"period", "needed", "on", "utilization", "energy_kJ"} <= set(rows[0])
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            planner().plan([])
+
+
+class TestValidation:
+    def test_constructor_guards(self):
+        with pytest.raises(ValueError):
+            DynamicCapacityPlanner([], 0.01)
+        with pytest.raises(ValueError):
+            planner(period_length=0.0)
+        with pytest.raises(ValueError):
+            planner(hold_periods=-1)
+        with pytest.raises(ValueError):
+            planner(boot_energy=-1.0)
+        with pytest.raises(ValueError):
+            planner(min_servers=0)

@@ -1,0 +1,64 @@
+"""Property-based tests for the dynamic capacity planner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicCapacityPlanner
+from repro.core.inputs import ResourceKind, ServiceSpec
+
+CPU = ResourceKind.CPU
+
+rates = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+profiles = st.lists(
+    st.fixed_dictionaries({"svc": rates}), min_size=1, max_size=24
+)
+
+
+def make_planner(hold_periods=0, boot_energy=0.0):
+    return DynamicCapacityPlanner(
+        services=[ServiceSpec("svc", 1.0, {CPU: 100.0}, {CPU: 0.8})],
+        loss_probability=0.01,
+        hold_periods=hold_periods,
+        boot_energy=boot_energy,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles)
+def test_qos_never_sacrificed(profile):
+    plan = make_planner(hold_periods=2).plan(profile)
+    for p in plan.periods:
+        assert p.servers_on >= p.servers_needed
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles)
+def test_on_count_bookkeeping_consistent(profile):
+    plan = make_planner().plan(profile)
+    on = plan.periods[0].servers_needed
+    for p in plan.periods:
+        on = on + p.booted - p.shut_down
+        assert on == p.servers_on
+        assert 0.0 <= p.utilization <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles)
+def test_dynamic_never_exceeds_static_energy_when_boot_free(profile):
+    plan = make_planner(boot_energy=0.0).plan(profile)
+    assert plan.total_energy <= plan.static_energy + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles, st.integers(min_value=0, max_value=5))
+def test_hysteresis_monotone_in_energy(profile, hold):
+    eager = make_planner(hold_periods=0).plan(profile)
+    lazy = make_planner(hold_periods=hold).plan(profile)
+    assert lazy.total_energy >= eager.total_energy - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(profiles)
+def test_peak_servers_is_max_needed(profile):
+    plan = make_planner().plan(profile)
+    assert plan.peak_servers == max(p.servers_needed for p in plan.periods)

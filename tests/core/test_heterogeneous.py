@@ -1,0 +1,103 @@
+"""Unit tests for heterogeneous-server normalization."""
+
+import pytest
+
+from repro.core.heterogeneous import HeterogeneousPool, ServerClass
+from repro.core.inputs import ResourceKind
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+# The paper's normalization example: two 2.0 GHz quad-cores = 1.0; one = 0.5.
+BIG = ServerClass("dual-quad", {CPU: 16.0, DISK: 100.0}, count=4)
+SMALL = ServerClass("single-quad", {CPU: 8.0, DISK: 100.0}, count=6)
+
+
+class TestServerClass:
+    def test_normalized_capacity_paper_example(self):
+        assert SMALL.normalized_capacity(BIG, CPU) == pytest.approx(0.5)
+        assert BIG.normalized_capacity(BIG, CPU) == pytest.approx(1.0)
+
+    def test_bottleneck_is_min_ratio(self):
+        # SMALL matches BIG on disk but halves CPU -> bottleneck 0.5.
+        assert SMALL.normalized_bottleneck(BIG) == pytest.approx(0.5)
+
+    def test_measured_scale_overrides_spec(self):
+        # The paper's AMD-vs-Intel observation: spec ratios can be ~20% off.
+        intel = ServerClass(
+            "intel", {CPU: 18.6, DISK: 100.0}, count=1, measured_scale=0.8
+        )
+        assert intel.normalized_capacity(BIG, CPU) == pytest.approx(0.8)
+        assert intel.normalized_bottleneck(BIG) == pytest.approx(0.8)
+
+    def test_missing_resource_is_zero(self):
+        no_disk = ServerClass("cpu-only", {CPU: 16.0})
+        assert no_disk.normalized_capacity(BIG, DISK) == 0.0
+        assert no_disk.normalized_bottleneck(BIG) == 0.0
+
+    def test_reference_missing_resource_raises(self):
+        ref = ServerClass("ref", {CPU: 16.0})
+        with pytest.raises(KeyError):
+            SMALL.normalized_capacity(ref, DISK)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerClass("", {CPU: 1.0})
+        with pytest.raises(ValueError):
+            ServerClass("x", {})
+        with pytest.raises(ValueError):
+            ServerClass("x", {CPU: 0.0})
+        with pytest.raises(ValueError):
+            ServerClass("x", {CPU: 1.0}, count=-1)
+        with pytest.raises(ValueError):
+            ServerClass("x", {CPU: 1.0}, measured_scale=0.0)
+
+
+class TestHeterogeneousPool:
+    def test_normalize_totals(self):
+        pool = HeterogeneousPool([BIG, SMALL], reference=BIG)
+        norm = pool.normalize()
+        assert norm.equivalent_servers == pytest.approx(4 * 1.0 + 6 * 0.5)
+        assert norm.per_class_equivalents["dual-quad"] == pytest.approx(4.0)
+        assert norm.per_class_equivalents["single-quad"] == pytest.approx(3.0)
+        assert norm.whole_servers == 7
+
+    def test_default_reference_is_largest(self):
+        pool = HeterogeneousPool([SMALL, BIG])
+        assert pool.reference is BIG
+
+    def test_can_supply(self):
+        pool = HeterogeneousPool([BIG, SMALL], reference=BIG)
+        assert pool.can_supply(7.0)
+        assert not pool.can_supply(7.5)
+
+    def test_pack_prefers_large_machines(self):
+        pool = HeterogeneousPool([BIG, SMALL], reference=BIG)
+        plan = pool.pack(3.0)
+        assert plan == {"dual-quad": 3}
+
+    def test_pack_spills_to_small(self):
+        pool = HeterogeneousPool([BIG, SMALL], reference=BIG)
+        plan = pool.pack(5.0)
+        assert plan["dual-quad"] == 4
+        assert plan["single-quad"] == 2  # 2 x 0.5 covers the remaining 1.0
+
+    def test_pack_zero_demand(self):
+        pool = HeterogeneousPool([BIG], reference=BIG)
+        assert pool.pack(0.0) == {}
+
+    def test_pack_insufficient_raises(self):
+        pool = HeterogeneousPool([BIG, SMALL], reference=BIG)
+        with pytest.raises(ValueError):
+            pool.pack(10.0)
+
+    def test_pack_rejects_negative(self):
+        pool = HeterogeneousPool([BIG], reference=BIG)
+        with pytest.raises(ValueError):
+            pool.pack(-1.0)
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPool([])
+        with pytest.raises(ValueError):
+            HeterogeneousPool([BIG, BIG])

@@ -1,0 +1,116 @@
+"""Unit tests for the power model and fleet comparison (Eqs. 12–14)."""
+
+import pytest
+
+from repro.core.inputs import ModelInputs, ResourceKind, ServiceSpec
+from repro.core.model import UtilityAnalyticModel
+from repro.core.power import PowerComparison, ServerPowerModel, power_comparison
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+def group2_solution():
+    web = ServiceSpec(
+        "web", 1200.0, {CPU: 3360.0, DISK: 1420.0}, {CPU: 0.65, DISK: 0.8}
+    )
+    db = ServiceSpec("db", 80.0, {CPU: 100.0}, {CPU: 0.9})
+    return UtilityAnalyticModel(ModelInputs((web, db), 0.01)).solve()
+
+
+class TestServerPowerModel:
+    def test_linear_interpolation(self):
+        pm = ServerPowerModel(200.0, 300.0)
+        assert pm.draw(0.0) == 200.0
+        assert pm.draw(1.0) == 300.0
+        assert pm.draw(0.5) == 250.0
+
+    def test_energy(self):
+        pm = ServerPowerModel(200.0, 300.0)
+        assert pm.energy(0.5, 10.0) == pytest.approx(2500.0)
+
+    def test_busy_over_idle(self):
+        pm = ServerPowerModel(250.0, 295.0)
+        assert pm.busy_over_idle == pytest.approx(0.18)
+
+    def test_default_matches_paper_17pct_observation(self):
+        # Busy servers draw at most ~17-18% more than idle ones.
+        assert ServerPowerModel().busy_over_idle <= 0.20
+
+    def test_scaled(self):
+        pm = ServerPowerModel(200.0, 300.0).scaled(0.5)
+        assert pm.base_watts == 100.0
+        assert pm.max_watts == 150.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            ServerPowerModel(100.0, 50.0)
+        with pytest.raises(ValueError):
+            ServerPowerModel().draw(1.5)
+        with pytest.raises(ValueError):
+            ServerPowerModel().energy(0.5, -1.0)
+        with pytest.raises(ValueError):
+            ServerPowerModel(100.0, 200.0).scaled(0.0)
+
+
+class TestPowerComparison:
+    def test_eq12_eq13_arithmetic(self):
+        sol = group2_solution()
+        pm = ServerPowerModel(100.0, 200.0)
+        cmp_ = power_comparison(sol, power_model=pm, duration=10.0)
+        # Idle part: count * base * t.
+        assert cmp_.dedicated_idle_power == pytest.approx(8 * 100.0 * 10.0)
+        assert cmp_.consolidated_idle_power == pytest.approx(4 * 100.0 * 10.0)
+        # Dynamic part proportional to bottleneck utilization.
+        assert cmp_.dedicated_power > cmp_.dedicated_idle_power
+        assert cmp_.consolidated_power > cmp_.consolidated_idle_power
+
+    def test_ratio_and_saving_consistent(self):
+        cmp_ = power_comparison(group2_solution())
+        assert cmp_.saving == pytest.approx(1.0 - 1.0 / cmp_.ratio)
+
+    def test_halving_servers_saves_power(self):
+        cmp_ = power_comparison(group2_solution())
+        # Base power dominates, so ~50% fewer machines -> ~40-55% saving.
+        assert 0.35 <= cmp_.saving <= 0.60
+
+    def test_duration_cancels_in_ratio(self):
+        sol = group2_solution()
+        r1 = power_comparison(sol, duration=1.0).ratio
+        r2 = power_comparison(sol, duration=3600.0).ratio
+        assert r1 == pytest.approx(r2)
+
+    def test_xen_platform_factors_increase_saving(self):
+        sol = group2_solution()
+        base = power_comparison(sol)
+        xen = power_comparison(sol, xen_idle_factor=0.91, xen_workload_factor=0.70)
+        assert xen.saving > base.saving
+
+    def test_paper_53pct_with_platform_effects(self):
+        cmp_ = power_comparison(
+            group2_solution(), xen_idle_factor=0.91, xen_workload_factor=0.70
+        )
+        assert cmp_.saving == pytest.approx(0.53, abs=0.04)
+
+    def test_workload_power_positive(self):
+        cmp_ = power_comparison(group2_solution())
+        assert cmp_.dedicated_workload_power > 0.0
+        assert cmp_.consolidated_workload_power > 0.0
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ValueError):
+            power_comparison(group2_solution(), xen_idle_factor=0.0)
+        with pytest.raises(ValueError):
+            power_comparison(group2_solution(), duration=-1.0)
+
+    def test_zero_consolidated_power_ratio(self):
+        cmp_ = PowerComparison(
+            dedicated_power=10.0,
+            consolidated_power=0.0,
+            dedicated_idle_power=5.0,
+            consolidated_idle_power=0.0,
+            duration=1.0,
+        )
+        assert cmp_.ratio == float("inf")

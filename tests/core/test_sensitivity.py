@@ -1,0 +1,99 @@
+"""Unit tests for the sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.core.inputs import ModelInputs, ResourceKind, ServiceSpec
+from repro.core.sensitivity import sensitivity_report
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+def inputs():
+    web = ServiceSpec(
+        "web", 1200.0, {CPU: 3360.0, DISK: 1420.0}, {CPU: 0.65, DISK: 0.8}
+    )
+    db = ServiceSpec("db", 80.0, {CPU: 100.0}, {CPU: 0.9})
+    return ModelInputs((web, db), 0.01)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return sensitivity_report(inputs(), delta=0.3)
+
+
+class TestReportStructure:
+    def test_baseline_matches_model(self, report):
+        assert report.baseline_n == 4
+
+    def test_all_parameters_present(self, report):
+        names = {e.parameter for e in report.entries}
+        assert "lambda[web]" in names
+        assert "lambda[db]" in names
+        assert "mu[web,cpu]" in names
+        assert "mu[web,disk_io]" in names
+        assert "mu[db,cpu]" in names
+        assert "a[web,cpu]" in names
+        assert "a[db,cpu]" in names
+        assert "B" in names
+
+    def test_sorted_by_swing(self, report):
+        swings = [e.swing for e in report.entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_rows_render(self, report):
+        rows = report.rows()
+        assert len(rows) == len(report.entries)
+        assert {"parameter", "N_minus", "N_plus", "swing"} <= set(rows[0])
+
+    def test_lookup(self, report):
+        assert report.entry("B").parameter == "B"
+        with pytest.raises(KeyError):
+            report.entry("nope")
+
+
+class TestDirections:
+    def test_more_db_traffic_needs_more_servers(self, report):
+        entry = report.entry("lambda[db]")
+        assert entry.n_high >= entry.n_low
+        assert entry.direction in ("increases", "none")
+
+    def test_faster_db_cpu_needs_fewer(self, report):
+        entry = report.entry("mu[db,cpu]")
+        assert entry.n_high <= entry.n_low
+
+    def test_better_impact_factor_never_hurts(self, report):
+        entry = report.entry("a[db,cpu]")
+        assert entry.n_high <= entry.n_low
+
+    def test_tighter_loss_target_needs_more(self, report):
+        entry = report.entry("B")
+        # n_low is B*(1-delta): tighter target -> more servers.
+        assert entry.n_low >= entry.n_high
+
+    def test_paper_mode_quirk_web_rate_dominates(self, report):
+        # A consequence of Eq. 4's arithmetic weighting: the FAST service's
+        # rate terms dominate the mixture, so web CPU parameters swing N
+        # while the db parameters (the physically binding demand!) do not.
+        assert report.entry("mu[web,cpu]").swing >= 1
+        assert report.entry("mu[db,cpu]").swing == 0
+
+    def test_offered_mode_sees_db_demand(self):
+        # The offered-load reading restores physical intuition: db's CPU
+        # parameters move N as much as web's.
+        offered = sensitivity_report(inputs(), delta=0.3, load_model="offered")
+        assert offered.entry("mu[db,cpu]").swing >= 1
+        assert offered.entry("lambda[db]").swing >= 1
+
+
+class TestRobustness:
+    def test_small_delta_mostly_robust(self):
+        small = sensitivity_report(inputs(), delta=0.01)
+        # 1% measurement error moves the integral N for almost nothing.
+        assert len(small.robust_parameters) >= len(small.entries) - 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_report(inputs(), delta=0.0)
+        with pytest.raises(ValueError):
+            sensitivity_report(inputs(), delta=1.0)

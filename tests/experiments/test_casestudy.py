@@ -1,0 +1,116 @@
+"""Tests pinning the reconstructed case-study constants to the paper."""
+
+import pytest
+
+from repro.core import ResourceKind, UtilityAnalyticModel, utilization_report
+from repro.experiments.casestudy import (
+    A_DB_CPU,
+    A_WEB_CPU,
+    A_WEB_DISK_IO,
+    GROUP1,
+    GROUP2,
+    GROUPS,
+    LOSS_PROBABILITY,
+    MU_DB_CPU,
+    MU_WEB_CPU,
+    MU_WEB_DISK_IO,
+    case_study_inputs,
+    db_service,
+    web_service,
+)
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+class TestConstants:
+    def test_reconstructed_rates(self):
+        assert MU_WEB_DISK_IO == 1420.0
+        assert MU_WEB_CPU == 3360.0
+        assert MU_DB_CPU == 100.0
+        assert (A_WEB_DISK_IO, A_DB_CPU, A_WEB_CPU) == (0.8, 0.9, 0.65)
+        assert LOSS_PROBABILITY == 0.01
+
+    def test_web_service_spec(self):
+        web = web_service(1200.0)
+        assert web.mu(CPU) == MU_WEB_CPU
+        assert web.mu(DISK) == MU_WEB_DISK_IO
+        assert web.impact(CPU) == A_WEB_CPU
+
+    def test_db_service_spec(self):
+        db = db_service(80.0)
+        assert db.mu(CPU) == MU_DB_CPU
+        assert db.offered_load(DISK) == 0.0  # mu_di ~ inf
+
+    def test_native_variants(self):
+        assert web_service(1.0, virtualized=False).impact(CPU) == 1.0
+        assert db_service(1.0, virtualized=False).impact(CPU) == 1.0
+
+
+class TestGroups:
+    @pytest.mark.parametrize("group", GROUPS, ids=lambda g: g.name)
+    def test_model_reproduces_m_and_n(self, group):
+        solution = UtilityAnalyticModel(group.inputs()).solve()
+        assert solution.dedicated_servers == group.expected_dedicated
+        assert solution.consolidated_servers == group.expected_consolidated
+        assert (
+            solution.dedicated_for("web").servers == group.expected_web_island
+        )
+        assert solution.dedicated_for("db").servers == group.expected_db_island
+
+    def test_group1_is_paper_6_to_3(self):
+        assert GROUP1.expected_dedicated == 6
+        assert GROUP1.expected_consolidated == 3
+
+    def test_group2_is_paper_8_to_4(self):
+        assert GROUP2.expected_dedicated == 8
+        assert GROUP2.expected_consolidated == 4
+
+    def test_headline_50pct_infrastructure_saving(self):
+        for group in GROUPS:
+            solution = UtilityAnalyticModel(group.inputs()).solve()
+            assert solution.infrastructure_saving == pytest.approx(0.5)
+
+    def test_web_bottleneck_is_disk_dedicated(self):
+        solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+        assert solution.dedicated_for("web").bottleneck == DISK
+
+    def test_consolidated_bottleneck_is_cpu(self):
+        solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+        assert solution.consolidated_bottleneck == CPU
+
+    def test_utilization_improvement_band(self):
+        solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+        improvement = utilization_report(solution).bottleneck_improvement
+        # Paper: model 1.5x, measured 1.7x; our busy-time accounting says
+        # ~2.5x (documented in EXPERIMENTS.md).  Direction must hold firmly.
+        assert improvement > 1.5
+
+    def test_island_sizes_mapping(self):
+        assert GROUP2.island_sizes == {"web": 4, "db": 4}
+
+    def test_intensive_workload_selection_rule(self):
+        # The chosen rates sit in the top half of the Erlang-admissible
+        # range of their island (the paper's "intensive workload that the
+        # servers can afford").
+        from repro.queueing.erlang import max_load_for_blocking
+
+        for group in GROUPS:
+            web_limit = max_load_for_blocking(
+                group.expected_web_island, group.loss_probability
+            ) * MU_WEB_DISK_IO
+            db_limit = max_load_for_blocking(
+                group.expected_db_island, group.loss_probability
+            ) * MU_DB_CPU
+            assert 0.5 * web_limit <= group.web_rate <= web_limit
+            assert 0.5 * db_limit <= group.db_rate <= db_limit
+
+
+class TestCaseStudyInputs:
+    def test_bundles_both_services(self):
+        inputs = case_study_inputs(100.0, 10.0)
+        assert {s.name for s in inputs.services} == {"web", "db"}
+        assert inputs.loss_probability == LOSS_PROBABILITY
+
+    def test_custom_loss(self):
+        assert case_study_inputs(1.0, 1.0, 0.05).loss_probability == 0.05

@@ -1,0 +1,168 @@
+"""Every registered experiment runs and its headline shape-claims hold.
+
+These are the reproduction's acceptance tests: each paper artifact's
+qualitative finding (who wins, by roughly what factor) must come out of the
+corresponding experiment.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, run_experiment
+from repro.experiments import runner  # noqa: F401 — populates the registry
+
+EXPECTED = {
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "app1",
+    "app2",
+    "ext-scale",
+    "ext-multiservice",
+    "ext-wan",
+}
+
+
+def test_registry_complete():
+    assert EXPECTED <= set(all_experiments())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_experiment_runs_and_renders(name):
+    result = run_experiment(name, seed=7, fast=True)
+    assert result.experiment == name
+    assert result.rows
+    assert result.summary
+    assert len(result.text) > 100
+
+
+class TestShapeClaims:
+    """One assertion block per paper artifact."""
+
+    def test_fig2_peak_of_sum_below_sum_of_peaks(self):
+        s = run_experiment("fig2").summary
+        assert s["peak_of_sum"] < s["sum_of_peaks"]
+        assert s["headroom_fraction"] > 0.1
+        assert s["consolidated_servers_N"] < s["dedicated_servers_M"]
+
+    def test_fig5_recovers_published_line(self):
+        s = run_experiment("fig5").summary
+        assert s["fit_slope"] == pytest.approx(-0.012, abs=0.01)
+        assert s["fit_intercept"] == pytest.approx(1.082, abs=0.05)
+        assert s["fit_r2"] > 0.8
+        assert s["bottleneck"] == "disk_io"
+
+    def test_fig6_recovers_published_line(self):
+        s = run_experiment("fig6").summary
+        assert s["fit_slope"] == pytest.approx(-0.039, abs=0.01)
+        assert s["fit_intercept"] == pytest.approx(0.658, abs=0.05)
+        assert s["bottleneck"] == "cpu"
+        # Native much better than VMs for the CPU-bound workload.
+        assert s["native_over_1vm_peak"] > 1.3
+
+    def test_fig7_pinning_wins(self):
+        s = run_experiment("fig7").summary
+        assert s["pinned_peak_wips"] > s["floating_peak_wips"]
+        assert 1.05 <= s["pinned_over_floating"] <= 1.5
+        # The paper's configuration: 6 vCPUs pinned to 6 cores.
+        assert s["hypervisor_db_cores_granted"] >= 5.0
+
+    def test_fig8_software_bottleneck(self):
+        s = run_experiment("fig8").summary
+        assert s["software_bottleneck_confirmed"]
+        assert s["one_vm_over_multivm"] == pytest.approx(0.55, abs=0.15)
+        assert s["fit_ceiling"] == pytest.approx(1.85, abs=0.15)
+
+    def test_fig9_selections_within_limits(self):
+        s = run_experiment("fig9").summary
+        assert s["db_selection_within_limit"]
+        assert s["web_selection_within_limit"]
+        assert s["db_selection_utilisation_of_limit"] > 0.5
+
+    def test_table1_matches_paper_groups(self):
+        s = run_experiment("table1").summary
+        assert s["group1_matches_paper"]
+        assert s["group2_matches_paper"]
+
+    def test_fig10_three_consolidated_match_six_dedicated(self):
+        s = run_experiment("fig10").summary
+        assert s["matches_model"]
+        assert s["smallest_similar_N_measured"] == 3
+        assert s["N2_degraded"]
+        assert s["servers_saved_fraction"] == pytest.approx(0.5)
+
+    def test_fig11_qos_and_utilization(self):
+        s = run_experiment("fig11").summary
+        assert s["qos_preserved"]
+        assert s["cpu_util_improvement_measured"] > 1.5
+        # Measured and model-predicted improvements agree (both use the
+        # busy-time reading).
+        assert s["cpu_util_improvement_measured"] == pytest.approx(
+            s["cpu_util_improvement_model"], rel=0.2
+        )
+
+    def test_fig12_power_savings(self):
+        s = run_experiment("fig12").summary
+        assert s["power_saving_fraction"] == pytest.approx(0.53, abs=0.06)
+        assert s["busy_increase_below_17pct"]
+        assert s["xen_idle_saving_per_server"] == pytest.approx(0.09, abs=0.02)
+
+    def test_fig13_workload_power_direction(self):
+        s = run_experiment("fig13").summary
+        # Consolidated Xen attributes less power to the same workloads;
+        # exact 30% depends on busy-time inflation (see EXPERIMENTS.md).
+        assert s["workload_power_saving"] > 0.05
+
+    def test_app1_controller_ordering(self):
+        result = run_experiment("app1")
+        by_name = {r["controller"]: r["goodput_fraction"] for r in result.rows}
+        # Full reactive-control spectrum: static < EWMA-predictive (lags
+        # bursts) < taxed proportional < priority/ideal flowing.
+        assert by_name["ideal_flow"] >= by_name["proportional_tax2%"]
+        assert by_name["proportional_tax2%"] > by_name["predictive_ewma"]
+        assert by_name["predictive_ewma"] > by_name["static_partition"]
+        assert result.summary["optimal_improvement"] > 1.0
+
+    def test_ext_scale_multiplexing_and_optimism(self):
+        s = run_experiment("ext-scale").summary
+        assert s["multiplexing_strengthens"]
+        assert s["paper_estimate_optimistic_everywhere"]
+        assert s["saving_at_largest_scale"] >= 0.5
+
+    def test_ext_multiservice_offered_sizing_deploys(self):
+        s = run_experiment("ext-multiservice").summary
+        assert s["offered_sizing_meets_target"]
+        assert s["N_offered_mode"] > s["N_paper_mode"]
+        assert s["paper_N_worst_loss_measured"] > 5 * 0.01
+        assert s["infrastructure_saving_offered"] > 0.5
+        assert s["power_saving_measured"] > 0.5
+
+    def test_ext_wan_poisson_assumption(self):
+        s = run_experiment("ext-wan").summary
+        assert s["poisson_matches_erlang"]
+        assert s["burstier_traffic_blocks_more"]
+        assert s["lrd_loss_over_erlang"] > 1.5
+
+    def test_app2_ideal_hypervisor_ceiling(self):
+        s = run_experiment("app2").summary
+        assert s["ideal_improvement"] >= s["xen_improvement"] - 1e-6
+        assert 0.0 <= s["virtualization_qos_cost"] <= 0.5
+        assert s["xen_fraction_of_ideal"] <= 1.0 + 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows(self):
+        a = run_experiment("fig10", seed=11)
+        b = run_experiment("fig10", seed=11)
+        assert a.rows == b.rows
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

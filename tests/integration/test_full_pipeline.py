@@ -1,0 +1,70 @@
+"""End-to-end pipeline: JSON deployment -> CLI plan -> DES validation.
+
+The complete user journey: describe a deployment in JSON, size it through
+the CLI with the conservative load model, then replay the sized deployment
+in the discrete-event simulator and confirm the loss target is met.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_deployment
+from repro.core import UtilityAnalyticModel
+from repro.simulation.datacenter import DataCenterSimulation
+
+DOC = {
+    "loss_probability": 0.02,
+    "services": [
+        {
+            "name": "api",
+            "arrival_rate": 500.0,
+            "service_rates": {"cpu": 900.0, "disk_io": 700.0},
+            "impact_factors": {"cpu": 0.75, "disk_io": 0.85},
+        },
+        {
+            "name": "reports",
+            "arrival_rate": 40.0,
+            "service_rates": {"cpu": 60.0},
+            "impact_factors": {"cpu": 0.9},
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def sized():
+    inputs, _, _ = parse_deployment(DOC)
+    solution = UtilityAnalyticModel(inputs, load_model="offered").solve()
+    return inputs, solution
+
+
+class TestPipeline:
+    def test_cli_agrees_with_library(self, tmp_path, capsys, sized):
+        inputs, solution = sized
+        path = tmp_path / "d.json"
+        path.write_text(json.dumps(DOC))
+        assert main([str(path), "--load-model", "offered", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["consolidated_servers"] == solution.consolidated_servers
+        assert doc["dedicated_servers"] == solution.dedicated_servers
+
+    def test_sized_deployment_meets_target_in_simulation(self, sized):
+        inputs, solution = sized
+        sim = DataCenterSimulation(inputs)
+        rng = np.random.default_rng(77)
+        islands = {d.service.name: d.servers for d in solution.dedicated}
+        case = sim.run_case_study(
+            islands, solution.consolidated_servers, 400.0, rng
+        )
+        b = inputs.loss_probability
+        for name, loss in case.dedicated.per_service_loss.items():
+            assert loss <= 2.5 * b, f"dedicated {name} loss {loss}"
+        for name, loss in case.consolidated.per_service_loss.items():
+            assert loss <= 2.5 * b, f"consolidated {name} loss {loss}"
+
+    def test_consolidation_still_saves(self, sized):
+        inputs, solution = sized
+        # Even the conservative sizing beats dedication.
+        assert solution.consolidated_servers < solution.dedicated_servers

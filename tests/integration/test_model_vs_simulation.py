@@ -1,0 +1,125 @@
+"""End-to-end integration: the analytic model versus the simulated testbed.
+
+The paper validates its model by running the case study on real hardware;
+we validate the same predictions against the discrete-event loss-network
+simulation.  These tests tie all packages together: core model sizing ->
+simulated deployments -> measured loss/utilization/power.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConsolidationPlanner,
+    ResourceKind,
+    UtilityAnalyticModel,
+    utilization_report,
+)
+from repro.experiments.casestudy import GROUP1, GROUP2
+from repro.queueing.erlang import erlang_b
+from repro.simulation.datacenter import DataCenterSimulation
+
+CPU = ResourceKind.CPU
+HORIZON = 400.0
+
+
+@pytest.fixture(scope="module")
+def group2_case():
+    sim = DataCenterSimulation(GROUP2.inputs())
+    rng = np.random.default_rng(42)
+    return sim.run_case_study(
+        GROUP2.island_sizes, GROUP2.expected_consolidated, HORIZON, rng
+    )
+
+
+class TestDedicatedPredictions:
+    def test_dedicated_loss_meets_target(self, group2_case):
+        # The Erlang sizing of the islands must hold up in simulation.
+        for name, loss in group2_case.dedicated.per_service_loss.items():
+            lo, hi = group2_case.dedicated.per_service_loss_ci[name]
+            assert lo <= 0.015, f"{name} loss CI {lo}-{hi} way above target"
+
+    def test_dedicated_loss_matches_erlang_value(self, group2_case):
+        # Web island: 4 servers, disk rho = 1200/1420.
+        expected = erlang_b(4, 1200.0 / 1420.0)
+        measured = group2_case.dedicated.per_service_loss["web"]
+        assert measured == pytest.approx(expected, abs=0.012)
+
+    def test_db_island_loss_matches_erlang(self, group2_case):
+        expected = erlang_b(4, 80.0 / 100.0)
+        measured = group2_case.dedicated.per_service_loss["db"]
+        assert measured == pytest.approx(expected, abs=0.015)
+
+
+class TestConsolidatedPredictions:
+    def test_consolidated_loss_matches_offered_erlang(self, group2_case):
+        # The *simulation truth* is the offered-load Erlang value (the
+        # paper-mode mixture is optimistic; this quantifies by how much).
+        offered = GROUP2.inputs().consolidated_load(CPU, "offered")
+        expected = erlang_b(4, offered)
+        measured = max(group2_case.consolidated.per_service_loss.values())
+        assert measured == pytest.approx(expected, abs=0.03)
+
+    def test_paper_mode_is_lower_bound(self, group2_case):
+        paper_load = GROUP2.inputs().consolidated_load(CPU, "paper")
+        lower = erlang_b(4, paper_load)
+        measured = max(group2_case.consolidated.per_service_loss.values())
+        assert measured >= lower - 0.01
+
+    def test_throughput_similar_to_dedicated(self, group2_case):
+        ded = group2_case.dedicated.per_service_throughput
+        con = group2_case.consolidated.per_service_throughput
+        for name in ded:
+            assert con[name] >= 0.9 * ded[name]
+
+
+class TestUtilizationAndPower:
+    def test_measured_utilization_matches_model(self, group2_case):
+        solution = UtilityAnalyticModel(GROUP2.inputs()).solve()
+        predicted = utilization_report(solution)
+        measured_ded = group2_case.dedicated.per_resource_utilization[CPU]
+        measured_con = group2_case.consolidated.per_resource_utilization[CPU]
+        assert measured_ded == pytest.approx(
+            predicted.resource(CPU).dedicated, rel=0.1
+        )
+        # Consolidated runs slightly below the offered load due to blocking
+        # thinning; stay within 15%.
+        assert measured_con == pytest.approx(
+            predicted.resource(CPU).consolidated, rel=0.15
+        )
+
+    def test_power_saving_matches_planner(self, group2_case):
+        planner = ConsolidationPlanner(
+            xen_idle_factor=0.91, xen_workload_factor=0.70
+        )
+        report = planner.plan(list(GROUP2.inputs().services), 0.01)
+        assert group2_case.power_saving == pytest.approx(
+            report.power_saving, abs=0.05
+        )
+
+    def test_headline_numbers(self, group2_case):
+        # The abstract's three claims, measured end to end:
+        # 50% infrastructure, ~53% power, >1.5x CPU utilization.
+        assert group2_case.consolidated.servers == 4
+        assert group2_case.dedicated.servers == 8
+        assert group2_case.power_saving == pytest.approx(0.53, abs=0.06)
+        assert group2_case.utilization_improvement(CPU) > 1.5
+
+
+class TestGroup1EndToEnd:
+    def test_three_consolidated_carry_group1(self):
+        sim = DataCenterSimulation(GROUP1.inputs())
+        rng = np.random.default_rng(43)
+        case = sim.run_case_study(GROUP1.island_sizes, 3, HORIZON, rng)
+        ded = case.dedicated.per_service_throughput
+        con = case.consolidated.per_service_throughput
+        for name in ded:
+            assert con[name] >= 0.9 * ded[name]
+
+    def test_two_consolidated_fail_group1(self):
+        sim = DataCenterSimulation(GROUP1.inputs())
+        rng = np.random.default_rng(44)
+        result = sim.run_consolidated(2, HORIZON, rng)
+        # "The failure of this experiment because of too many workloads":
+        # blocking is an order of magnitude above target.
+        assert result.worst_loss > 0.08

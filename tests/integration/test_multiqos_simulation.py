@@ -1,0 +1,44 @@
+"""Integration: per-service QoS sizing validated against the simulator.
+
+With capability pooled, PASTA makes every service see the same
+per-resource blocking, so the pool sized for the *strictest* target must
+deliver (approximately) that loss to everyone — which is both the point
+and the cost of mixing SLA tiers on shared infrastructure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.multiqos import solve_with_targets
+from repro.experiments.casestudy import GROUP2
+from repro.simulation.datacenter import DataCenterSimulation
+
+
+class TestMultiQosInSimulation:
+    def test_gold_tier_target_met_for_everyone(self):
+        inputs = GROUP2.inputs()
+        targets = {"web": 0.05, "db": 0.002}
+        multi = solve_with_targets(inputs, targets, load_model="offered")
+        n = multi.consolidated_servers
+        sim = DataCenterSimulation(inputs)
+        result = sim.run_consolidated(n, 600.0, np.random.default_rng(99))
+        # Both services share the pool; both must see <= ~the strict target
+        # (Wilson CI lower bound guards the sampling noise).
+        for name in ("web", "db"):
+            lo, _hi = result.per_service_loss_ci[name]
+            assert lo <= 0.004, f"{name} loss CI {result.per_service_loss_ci[name]}"
+
+    def test_tiering_cost_is_real(self):
+        # The shared pool pays for the gold tier: sizing with db at 0.002
+        # needs strictly more machines than everyone at 0.05.
+        inputs = GROUP2.inputs()
+        lax = solve_with_targets(
+            inputs, {"web": 0.05, "db": 0.05}, load_model="offered"
+        )
+        gold = solve_with_targets(
+            inputs, {"web": 0.05, "db": 0.002}, load_model="offered"
+        )
+        assert gold.consolidated_servers > lax.consolidated_servers
+        # Dedicated islands, by contrast, only grow the db island.
+        assert gold.dedicated_per_service["web"] == lax.dedicated_per_service["web"]
+        assert gold.dedicated_per_service["db"] > lax.dedicated_per_service["db"]

@@ -1,0 +1,204 @@
+"""Unit tests for the service-time distribution family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.distributions import (
+    Deterministic,
+    Empirical,
+    ErlangK,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    ParetoBounded,
+    Uniform,
+    as_distribution,
+)
+
+ALL_DISTS = [
+    Exponential(2.0),
+    Deterministic(0.5),
+    Uniform(0.1, 0.9),
+    ErlangK(k=4, lam=8.0),
+    HyperExponential(probs=(0.3, 0.7), rates=(1.0, 5.0)),
+    LogNormal.from_mean_scv(0.5, 2.0),
+    ParetoBounded(alpha=1.5, low=0.1, high=10.0),
+    Empirical([0.2, 0.4, 0.6, 0.8]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_sample_scalar(self, dist, rng):
+        x = dist.sample(rng)
+        assert np.isscalar(x) or np.asarray(x).shape == ()
+        assert float(x) >= 0.0
+
+    def test_sample_vector_shape(self, dist, rng):
+        xs = np.asarray(dist.sample(rng, 1000))
+        assert xs.shape == (1000,)
+        assert (xs >= 0.0).all()
+
+    def test_empirical_mean_matches_analytic(self, dist, rng):
+        xs = np.asarray(dist.sample(rng, 200_000))
+        assert xs.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_empirical_variance_matches_analytic(self, dist, rng):
+        if isinstance(dist, ParetoBounded):
+            pytest.skip("heavy tail needs too many samples for variance")
+        xs = np.asarray(dist.sample(rng, 200_000))
+        assert xs.var() == pytest.approx(dist.variance, rel=0.10, abs=1e-12)
+
+    def test_rate_is_reciprocal_mean(self, dist):
+        assert dist.rate == pytest.approx(1.0 / dist.mean)
+
+    def test_scaled_mean_and_variance(self, dist):
+        s = dist.scaled(3.0)
+        assert s.mean == pytest.approx(3.0 * dist.mean)
+        assert s.variance == pytest.approx(9.0 * dist.variance)
+
+    def test_scaled_samples_scale(self, dist, rng_factory):
+        a = np.asarray(dist.sample(rng_factory(1), 100))
+        b = np.asarray(dist.scaled(2.0).sample(rng_factory(1), 100))
+        np.testing.assert_allclose(b, 2.0 * a)
+
+
+class TestExponential:
+    def test_scv_is_one(self):
+        assert Exponential(3.7).scv == pytest.approx(1.0)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(0.25).lam == pytest.approx(4.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Exponential(-1.0)
+
+
+class TestDeterministic:
+    def test_zero_variance(self):
+        assert Deterministic(2.0).variance == 0.0
+
+    def test_samples_constant(self, rng):
+        assert set(np.asarray(Deterministic(2.0).sample(rng, 10))) == {2.0}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-0.1)
+
+
+class TestErlangK:
+    def test_scv_is_one_over_k(self):
+        assert ErlangK(k=5, lam=1.0).scv == pytest.approx(0.2)
+
+    def test_from_mean(self):
+        d = ErlangK.from_mean(2.0, k=3)
+        assert d.mean == pytest.approx(2.0)
+        assert d.k == 3
+
+    def test_k1_matches_exponential_mean(self):
+        assert ErlangK(k=1, lam=4.0).mean == Exponential(4.0).mean
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            ErlangK(k=0, lam=1.0)
+
+
+class TestHyperExponential:
+    def test_balanced_fit_matches_moments(self):
+        d = HyperExponential.balanced_two_phase(mean=2.0, scv=4.0)
+        assert d.mean == pytest.approx(2.0)
+        assert d.scv == pytest.approx(4.0)
+
+    def test_balanced_fit_rejects_scv_below_one(self):
+        with pytest.raises(ValueError):
+            HyperExponential.balanced_two_phase(1.0, 0.5)
+
+    def test_rejects_non_distribution_probs(self):
+        with pytest.raises(ValueError):
+            HyperExponential(probs=(0.5, 0.6), rates=(1.0, 2.0))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperExponential(probs=(1.0,), rates=(1.0, 2.0))
+
+
+class TestLogNormal:
+    def test_from_mean_scv_roundtrip(self):
+        d = LogNormal.from_mean_scv(3.0, 1.5)
+        assert d.mean == pytest.approx(3.0)
+        assert d.scv == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            LogNormal.from_mean_scv(0.0, 1.0)
+
+
+class TestParetoBounded:
+    def test_samples_respect_bounds(self, rng):
+        d = ParetoBounded(alpha=1.1, low=1.0, high=100.0)
+        xs = np.asarray(d.sample(rng, 10_000))
+        assert xs.min() >= 1.0 - 1e-9
+        assert xs.max() <= 100.0 + 1e-9
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ParetoBounded(alpha=1.0, low=5.0, high=1.0)
+
+    def test_mean_at_alpha_equal_one(self, rng):
+        # alpha == k hits the logarithmic branch of the moment formula.
+        d = ParetoBounded(alpha=1.0, low=1.0, high=50.0)
+        xs = np.asarray(d.sample(rng, 400_000))
+        assert xs.mean() == pytest.approx(d.mean, rel=0.05)
+
+
+class TestEmpirical:
+    def test_resamples_only_observed_values(self, rng):
+        d = Empirical([1.0, 2.0, 3.0])
+        assert set(np.asarray(d.sample(rng, 1000))) <= {1.0, 2.0, 3.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Empirical([1.0, -0.5])
+
+    def test_values_returns_copy(self):
+        d = Empirical([1.0, 2.0])
+        v = d.values
+        v[0] = 99.0
+        assert d.mean == pytest.approx(1.5)
+
+
+class TestAsDistribution:
+    def test_passthrough(self):
+        d = Exponential(1.0)
+        assert as_distribution(d) is d
+
+    def test_number_becomes_exponential_mean(self):
+        d = as_distribution(0.5)
+        assert isinstance(d, Exponential)
+        assert d.mean == pytest.approx(0.5)
+
+    def test_sequence_becomes_empirical(self):
+        d = as_distribution([1.0, 3.0])
+        assert isinstance(d, Empirical)
+        assert d.mean == pytest.approx(2.0)
+
+
+class TestScaled:
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            Exponential(1.0).scaled(0.0)
+
+    def test_impact_factor_semantics(self):
+        # Degrading the serving rate by a=0.8 stretches times by 1/0.8.
+        base = Exponential(10.0)
+        slowed = base.scaled(1.0 / 0.8)
+        assert slowed.rate == pytest.approx(10.0 * 0.8)

@@ -1,0 +1,181 @@
+"""Unit tests for the Erlang formulas — the model's mathematical core."""
+
+import math
+
+import pytest
+
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_b_continuous,
+    erlang_b_derivative_n,
+    erlang_b_log,
+    erlang_b_recurrence,
+    erlang_c,
+    max_load_for_blocking,
+    min_servers,
+    min_servers_continuous,
+    offered_load,
+)
+
+# Classic textbook values (Gross & Harris tables): (n, rho, E_n(rho)).
+TEXTBOOK = [
+    (1, 1.0, 0.5),
+    (2, 1.0, 0.2),
+    (3, 1.0, 1.0 / 16.0),
+    (1, 2.0, 2.0 / 3.0),
+    (2, 2.0, 0.4),
+    (5, 3.0, 0.110054),
+    (10, 5.0, 0.018385),
+]
+
+
+class TestOfferedLoad:
+    def test_basic_ratio(self):
+        assert offered_load(30.0, 10.0) == pytest.approx(3.0)
+
+    def test_infinite_service_rate_is_zero_load(self):
+        assert offered_load(100.0, math.inf) == 0.0
+
+    def test_rejects_negative_arrivals(self):
+        with pytest.raises(ValueError):
+            offered_load(-1.0, 1.0)
+
+    def test_rejects_nonpositive_service(self):
+        with pytest.raises(ValueError):
+            offered_load(1.0, 0.0)
+
+
+class TestErlangB:
+    @pytest.mark.parametrize("n,rho,expected", TEXTBOOK)
+    def test_textbook_values(self, n, rho, expected):
+        assert erlang_b(n, rho) == pytest.approx(expected, rel=1e-4)
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(0, 2.5) == 1.0
+
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(5, 0.0) == 0.0
+        assert erlang_b(0, 0.0) == 1.0  # degenerate: no servers at all
+
+    def test_monotone_decreasing_in_n(self):
+        values = [erlang_b(n, 4.0) for n in range(0, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_rho(self):
+        values = [erlang_b(5, rho) for rho in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1, 1.0)
+        with pytest.raises(ValueError):
+            erlang_b(1, -1.0)
+
+    def test_recurrence_alias(self):
+        assert erlang_b(7, 3.3) == erlang_b_recurrence(7, 3.3)
+
+
+class TestErlangBVariants:
+    @pytest.mark.parametrize("n,rho,expected", TEXTBOOK)
+    def test_log_domain_matches(self, n, rho, expected):
+        assert erlang_b_log(n, rho) == pytest.approx(expected, rel=1e-4)
+        assert erlang_b_log(n, rho) == pytest.approx(erlang_b(n, rho), rel=1e-9)
+
+    @pytest.mark.parametrize("n,rho,expected", TEXTBOOK)
+    def test_continuous_matches_at_integers(self, n, rho, expected):
+        assert erlang_b_continuous(n, rho) == pytest.approx(expected, rel=1e-4)
+        assert erlang_b_continuous(n, rho) == pytest.approx(erlang_b(n, rho), rel=1e-7)
+
+    def test_log_domain_handles_huge_load(self):
+        # rho^n/n! overflows float64 at these sizes; log domain must not.
+        b = erlang_b_log(100_000, 99_000.0)
+        assert 0.0 < b < 1.0
+        assert b == pytest.approx(erlang_b(100_000, 99_000.0), rel=1e-6)
+
+    def test_continuous_interpolates_monotonically(self):
+        vals = [erlang_b_continuous(n, 3.0) for n in (2.0, 2.25, 2.5, 2.75, 3.0)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_continuous_zero_load(self):
+        assert erlang_b_continuous(0.0, 0.0) == 1.0
+        assert erlang_b_continuous(2.5, 0.0) == 0.0
+
+    def test_derivative_is_negative(self):
+        assert erlang_b_derivative_n(5.0, 4.0) < 0.0
+
+
+class TestErlangC:
+    def test_relation_to_erlang_b(self):
+        n, rho = 6, 4.0
+        b = erlang_b(n, rho)
+        expected = n * b / (n - rho * (1.0 - b))
+        assert erlang_c(n, rho) == pytest.approx(expected)
+
+    def test_unstable_system_always_queues(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_exceeds_erlang_b(self):
+        # Queueing probability > blocking probability for the same system.
+        assert erlang_c(5, 3.0) > erlang_b(5, 3.0)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+
+
+class TestMinServers:
+    def test_definition_holds(self):
+        for rho in (0.3, 1.0, 5.0, 42.0):
+            n = min_servers(rho, 0.01)
+            assert erlang_b(n, rho) <= 0.01
+            assert n == 0 or erlang_b(n - 1, rho) > 0.01
+
+    def test_zero_load_needs_no_servers(self):
+        assert min_servers(0.0, 0.01) == 0
+
+    def test_stricter_target_needs_more_servers(self):
+        assert min_servers(10.0, 0.001) >= min_servers(10.0, 0.1)
+
+    def test_monotone_in_load(self):
+        counts = [min_servers(rho, 0.01) for rho in (1.0, 2.0, 4.0, 8.0, 16.0)]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            min_servers(1.0, 0.0)
+        with pytest.raises(ValueError):
+            min_servers(1.0, 1.0)
+
+    @pytest.mark.parametrize("rho", [0.01, 0.455, 0.87, 3.0, 27.5, 500.0])
+    @pytest.mark.parametrize("target", [0.001, 0.01, 0.1])
+    def test_continuous_inversion_agrees(self, rho, target):
+        assert min_servers_continuous(rho, target) == min_servers(rho, target)
+
+    def test_continuous_inversion_large_scale(self):
+        # A pooled mega-datacenter load: bisection stays fast and correct.
+        n = min_servers_continuous(5000.0, 0.01)
+        assert erlang_b_log(n, 5000.0) <= 0.01
+        assert erlang_b_log(n - 1, 5000.0) > 0.01
+
+
+class TestMaxLoad:
+    def test_inverse_of_min_servers(self):
+        n, target = 4, 0.01
+        rho_max = max_load_for_blocking(n, target)
+        assert erlang_b(n, rho_max) <= target
+        assert erlang_b(n, rho_max * 1.001) > target
+
+    def test_case_study_boundary(self):
+        # The paper's Group 2 DB island: 4 servers at B=1% afford ~0.87 erl.
+        assert max_load_for_blocking(4, 0.01) == pytest.approx(0.869, abs=5e-3)
+
+    def test_monotone_in_servers(self):
+        loads = [max_load_for_blocking(n, 0.01) for n in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(loads, loads[1:]))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            max_load_for_blocking(0, 0.01)
+        with pytest.raises(ValueError):
+            max_load_for_blocking(3, 1.5)

@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the Erlang machinery."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.erlang import (
+    erlang_b,
+    erlang_b_continuous,
+    erlang_b_log,
+    erlang_c,
+    max_load_for_blocking,
+    min_servers,
+    min_servers_continuous,
+)
+
+loads = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+positive_loads = st.floats(min_value=1e-3, max_value=500.0, allow_nan=False)
+servers = st.integers(min_value=0, max_value=400)
+targets = st.floats(min_value=1e-6, max_value=0.5)
+
+
+@given(servers, loads)
+def test_blocking_is_a_probability(n, rho):
+    b = erlang_b(n, rho)
+    assert 0.0 <= b <= 1.0
+
+
+@given(st.integers(min_value=1, max_value=200), positive_loads)
+def test_blocking_decreases_with_capacity(n, rho):
+    assert erlang_b(n, rho) <= erlang_b(n - 1, rho) + 1e-12
+
+
+@given(servers, positive_loads, st.floats(min_value=1.01, max_value=5.0))
+def test_blocking_increases_with_load(n, rho, factor):
+    assert erlang_b(n, rho * factor) >= erlang_b(n, rho) - 1e-12
+
+
+@given(st.integers(min_value=0, max_value=150), positive_loads)
+def test_log_domain_matches_recurrence(n, rho):
+    assert math.isclose(erlang_b_log(n, rho), erlang_b(n, rho), rel_tol=1e-8, abs_tol=1e-12)
+
+
+@given(st.integers(min_value=0, max_value=150), positive_loads)
+def test_continuous_extension_matches_at_integers(n, rho):
+    assert math.isclose(
+        erlang_b_continuous(float(n), rho), erlang_b(n, rho), rel_tol=1e-7, abs_tol=1e-12
+    )
+
+
+@given(positive_loads, targets)
+def test_min_servers_is_exact_threshold(rho, target):
+    n = min_servers(rho, target)
+    assert erlang_b(n, rho) <= target
+    if n > 0:
+        assert erlang_b(n - 1, rho) > target
+
+
+@settings(max_examples=50)
+@given(positive_loads, targets)
+def test_inversion_methods_agree(rho, target):
+    assert min_servers_continuous(rho, target) == min_servers(rho, target)
+
+
+@given(positive_loads, targets, st.floats(min_value=1.1, max_value=4.0))
+def test_min_servers_subadditive_under_pooling(rho, target, factor):
+    # Statistical multiplexing: serving the pooled load never needs more
+    # servers than serving the parts separately — the mathematical heart of
+    # the paper's consolidation claim.
+    n_pooled = min_servers(rho * factor, target)
+    n_split = min_servers(rho, target) + min_servers(rho * (factor - 1.0), target)
+    assert n_pooled <= n_split
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=1, max_value=100), targets)
+def test_max_load_is_tight(n, target):
+    rho = max_load_for_blocking(n, target)
+    assert erlang_b(n, rho) <= target
+    assert erlang_b(n, rho * 1.01 + 1e-9) > target
+
+
+@given(st.integers(min_value=1, max_value=100), st.floats(min_value=1e-3, max_value=0.99))
+def test_erlang_c_dominates_erlang_b(n, utilisation):
+    rho = n * utilisation
+    assert erlang_c(n, rho) >= erlang_b(n, rho) - 1e-12

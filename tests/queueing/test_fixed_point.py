@@ -1,0 +1,130 @@
+"""Unit + validation tests for the Erlang fixed-point approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import ResourceKind
+from repro.queueing.erlang import erlang_b
+from repro.queueing.fixed_point import erlang_fixed_point, fixed_point_for_inputs
+from repro.simulation.loss_network import LossNetwork, ServiceTraffic
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+class TestSingleResource:
+    def test_reduces_to_erlang_b(self):
+        result = erlang_fixed_point({"s": {"cpu": 2.5}}, {"cpu": 4})
+        assert result.converged
+        assert result.per_resource_blocking["cpu"] == pytest.approx(
+            erlang_b(4, 2.5), abs=1e-9
+        )
+        assert result.per_service_loss["s"] == pytest.approx(erlang_b(4, 2.5))
+
+    def test_two_services_pool_their_loads(self):
+        result = erlang_fixed_point(
+            {"a": {"cpu": 1.0}, "b": {"cpu": 1.5}}, {"cpu": 4}
+        )
+        assert result.per_resource_blocking["cpu"] == pytest.approx(
+            erlang_b(4, 2.5), abs=1e-9
+        )
+
+    def test_zero_load(self):
+        result = erlang_fixed_point({"s": {"cpu": 0.0}}, {"cpu": 2})
+        assert result.per_service_loss["s"] == 0.0
+
+
+class TestMultiResource:
+    def test_blocking_below_independent_erlang(self):
+        # Reduced load thins each resource, so fixed-point blocking is at
+        # most the naive independent value.
+        offered = {"s": {"cpu": 3.0, "disk": 3.0}}
+        result = erlang_fixed_point(offered, {"cpu": 4, "disk": 4})
+        naive = erlang_b(4, 3.0)
+        for j in ("cpu", "disk"):
+            assert result.per_resource_blocking[j] <= naive + 1e-12
+
+    def test_service_loss_exceeds_single_resource(self):
+        # Needing both resources compounds acceptance probabilities.
+        result = erlang_fixed_point(
+            {"s": {"cpu": 3.0, "disk": 3.0}}, {"cpu": 4, "disk": 4}
+        )
+        assert (
+            result.per_service_loss["s"]
+            >= result.per_resource_blocking["cpu"] - 1e-12
+        )
+
+    def test_asymmetric_resources(self):
+        result = erlang_fixed_point(
+            {"web": {"cpu": 0.5, "disk": 2.5}, "db": {"cpu": 2.0}},
+            {"cpu": 4, "disk": 4},
+        )
+        assert result.converged
+        assert result.per_resource_blocking["disk"] > result.per_resource_blocking["cpu"] * 0.5
+        assert 0.0 < result.per_service_loss["web"] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_fixed_point({}, {"cpu": 1})
+        with pytest.raises(ValueError):
+            erlang_fixed_point({"s": {"cpu": 1.0}}, {})
+        with pytest.raises(KeyError):
+            erlang_fixed_point({"s": {"gpu": 1.0}}, {"cpu": 1})
+        with pytest.raises(ValueError):
+            erlang_fixed_point({"s": {"cpu": -1.0}}, {"cpu": 1})
+        with pytest.raises(ValueError):
+            erlang_fixed_point({"s": {"cpu": 1.0}}, {"cpu": 1}, damping=0.0)
+
+
+class TestAgainstSimulation:
+    def test_matches_loss_network_two_resources(self, rng):
+        # The approximation must track the DES within ~1 point of loss.
+        servers = 3
+        net = LossNetwork(
+            servers,
+            [
+                ServiceTraffic.exponential("web", 4.0, {CPU: 2.0, DISK: 3.0}),
+                ServiceTraffic.exponential("db", 2.0, {CPU: 1.5}),
+            ],
+        )
+        sim = net.run(20_000.0, rng)
+        fp = erlang_fixed_point(
+            {
+                "web": {"cpu": 4.0 / 2.0, "disk": 4.0 / 3.0},
+                "db": {"cpu": 2.0 / 1.5},
+            },
+            {"cpu": servers, "disk": servers},
+        )
+        for name in ("web", "db"):
+            assert sim.per_service_loss[name] == pytest.approx(
+                fp.per_service_loss[name], abs=0.03
+            )
+
+
+class TestFromModelInputs:
+    def test_case_study_refinement(self):
+        from repro.experiments.casestudy import GROUP2
+
+        result = fixed_point_for_inputs(GROUP2.inputs(), servers=4)
+        assert result.converged
+        # CPU is the loaded resource; disk carries only the web load.
+        assert result.per_resource_blocking["cpu"] > result.per_resource_blocking[
+            "disk_io"
+        ] * 0.5
+        # The refinement confirms the EXPERIMENTS.md finding: ~3-5% loss at
+        # the paper's N=4, above the 1% target.
+        assert 0.01 < result.worst_service_loss < 0.10
+
+    def test_native_variant(self):
+        from repro.experiments.casestudy import GROUP2
+
+        virt = fixed_point_for_inputs(GROUP2.inputs(), 4, virtualized=True)
+        native = fixed_point_for_inputs(GROUP2.inputs(), 4, virtualized=False)
+        # Virtualization overhead (a<1) can only worsen blocking.
+        assert virt.worst_service_loss >= native.worst_service_loss - 1e-9
+
+    def test_rejects_bad_servers(self):
+        from repro.experiments.casestudy import GROUP2
+
+        with pytest.raises(ValueError):
+            fixed_point_for_inputs(GROUP2.inputs(), 0)

@@ -1,0 +1,120 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(3.0, lambda: order.append("c"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append(1))
+        sim.schedule_at(1.0, lambda: order.append(2))
+        sim.schedule_at(1.0, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_in_is_relative(self):
+        sim = Simulator()
+        times = []
+        def first():
+            times.append(sim.now)
+            sim.schedule_in(2.5, lambda: times.append(sim.now))
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.5]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_includes_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run(until=5.0)
+        assert fired == [5]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule_at(1.0, lambda: fired.append("dead"))
+        sim.schedule_at(2.0, lambda: fired.append("alive"))
+        ev.cancel()
+        sim.run()
+        assert fired == ["alive"]
+
+    def test_pending_counts_live_only(self):
+        sim = Simulator()
+        ev = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_step_returns_false_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is False
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_cascading_events(self):
+        # Events scheduling further events: a 1000-step chain completes.
+        sim = Simulator()
+        count = [0]
+        def tick():
+            count[0] += 1
+            if count[0] < 1000:
+                sim.schedule_in(0.001, tick)
+        sim.schedule_at(0.0, tick)
+        sim.run()
+        assert count[0] == 1000
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+        def recurse():
+            try:
+                sim.run()
+            except RuntimeError as e:
+                errors.append(e)
+        sim.schedule_at(0.0, recurse)
+        sim.run()
+        assert len(errors) == 1

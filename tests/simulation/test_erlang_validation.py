@@ -1,0 +1,117 @@
+"""Integration: the simulators must agree with the Erlang-B formula.
+
+This is the validation the whole reproduction leans on — the paper
+validates its model against a physical testbed; we validate ours against
+an independent discrete-event simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import ResourceKind
+from repro.queueing.distributions import Deterministic, ErlangK, Exponential, HyperExponential
+from repro.queueing.erlang import erlang_b
+from repro.queueing.poisson import poisson_arrivals
+from repro.simulation.loss_network import (
+    LossNetwork,
+    ServiceTraffic,
+    simulate_loss_system,
+)
+
+CPU = ResourceKind.CPU
+
+
+@pytest.mark.parametrize(
+    "servers,rho",
+    [(1, 0.5), (2, 1.5), (4, 3.0), (8, 6.0), (3, 0.45)],
+)
+def test_fast_loss_simulation_matches_erlang_b(servers, rho, rng):
+    lam = 2.0
+    mu = lam / rho
+    arrivals = poisson_arrivals(lam, 60_000.0, rng)
+    result = simulate_loss_system(arrivals, Exponential(mu), servers, rng)
+    expected = erlang_b(servers, rho)
+    assert result.loss_probability == pytest.approx(expected, abs=0.012)
+
+
+@pytest.mark.parametrize(
+    "dist_factory",
+    [
+        lambda mu: Exponential(mu),
+        lambda mu: Deterministic(1.0 / mu),
+        lambda mu: ErlangK.from_mean(1.0 / mu, k=4),
+        lambda mu: HyperExponential.balanced_two_phase(1.0 / mu, scv=4.0),
+    ],
+    ids=["M", "D", "E4", "H2"],
+)
+def test_insensitivity_of_erlang_loss(dist_factory, rng):
+    # Erlang B depends on the service law only through its mean: all four
+    # distributions must produce the same blocking (the M/G/n/n property
+    # the paper's 'general steady distribution' assumption relies on).
+    servers, rho, lam = 3, 2.4, 3.0
+    mu = lam / rho
+    arrivals = poisson_arrivals(lam, 40_000.0, rng)
+    result = simulate_loss_system(arrivals, dist_factory(mu), servers, rng)
+    assert result.loss_probability == pytest.approx(erlang_b(servers, rho), abs=0.015)
+
+
+def test_simulated_utilization_matches_carried_load(rng):
+    servers, lam, mu = 4, 6.0, 2.0
+    rho = lam / mu
+    arrivals = poisson_arrivals(lam, 30_000.0, rng)
+    result = simulate_loss_system(arrivals, Exponential(mu), servers, rng)
+    carried = rho * (1.0 - erlang_b(servers, rho))
+    assert result.busy_time_average == pytest.approx(carried, rel=0.03)
+
+
+def test_loss_network_single_resource_matches_erlang_b(rng):
+    servers, lam, mu = 3, 4.0, 2.0
+    net = LossNetwork(
+        servers, [ServiceTraffic.exponential("s", lam, {CPU: mu})]
+    )
+    result = net.run(20_000.0, rng)
+    expected = erlang_b(servers, lam / mu)
+    assert result.per_service_loss["s"] == pytest.approx(expected, abs=0.015)
+
+
+def test_loss_network_superposition_matches_pooled_erlang(rng):
+    # Two services with the SAME service rate pooled on shared servers is
+    # exactly an Erlang system at the summed arrival rate.
+    servers, mu = 4, 2.0
+    net = LossNetwork(
+        servers,
+        [
+            ServiceTraffic.exponential("a", 2.0, {CPU: mu}),
+            ServiceTraffic.exponential("b", 3.0, {CPU: mu}),
+        ],
+    )
+    result = net.run(20_000.0, rng)
+    expected = erlang_b(servers, 5.0 / mu)
+    for name in ("a", "b"):
+        # PASTA: both services see the same blocking.
+        assert result.per_service_loss[name] == pytest.approx(expected, abs=0.02)
+
+
+def test_loss_network_mixed_rates_brackets_paper_and_offered_loads(rng):
+    # Heterogeneous service rates: true blocking sits between the Erlang
+    # prediction at the paper's arithmetic-mixture load (optimistic) and at
+    # the offered load (the exact M/G insensitive answer).
+    servers = 4
+    net = LossNetwork(
+        servers,
+        [
+            ServiceTraffic.exponential("fast", 6.0, {CPU: 10.0}),
+            ServiceTraffic.exponential("slow", 1.0, {CPU: 0.5}),
+        ],
+    )
+    result = net.run(30_000.0, rng)
+    offered = 6.0 / 10.0 + 1.0 / 0.5  # 2.6 erlangs
+    lam = 7.0
+    paper = lam * lam / (6.0 * 10.0 + 1.0 * 0.5)
+    b_offered = erlang_b(servers, offered)
+    b_paper = erlang_b(servers, paper)
+    overall = result.overall_loss
+    assert b_paper <= overall + 0.02
+    # Insensitivity: the mixture is M/G with mean load = offered load, so
+    # the simulation should match the offered-load Erlang value closely.
+    assert overall == pytest.approx(b_offered, abs=0.02)

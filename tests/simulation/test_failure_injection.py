@@ -1,0 +1,122 @@
+"""Failure-injection tests: capacity schedules on the loss network.
+
+Shrinking the pool mid-run models server failures (or decommissioning);
+growing it models repair/boot.  Blocking must respond in the direction and
+magnitude Erlang predicts for each regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import ResourceKind
+from repro.queueing.erlang import erlang_b
+from repro.simulation.loss_network import LossNetwork, ServiceTraffic
+
+CPU = ResourceKind.CPU
+
+
+def network(lam=4.0, mu=1.0, servers=8):
+    return LossNetwork(
+        servers, [ServiceTraffic.exponential("s", lam, {CPU: mu})]
+    )
+
+
+class TestCapacitySchedule:
+    def test_no_schedule_unchanged(self, rng_factory):
+        base = network().run(5000.0, rng_factory(1))
+        scheduled = network().run(5000.0, rng_factory(1), capacity_schedule=[])
+        assert base.per_service_loss == scheduled.per_service_loss
+
+    def test_failure_raises_loss(self, rng_factory):
+        # Half the fleet fails at t=0: loss must approach E_4(4.0).
+        healthy = network().run(10_000.0, rng_factory(2))
+        degraded = network().run(
+            10_000.0, rng_factory(3), capacity_schedule=[(0.0, 4)]
+        )
+        assert degraded.per_service_loss["s"] > healthy.per_service_loss["s"]
+        assert degraded.per_service_loss["s"] == pytest.approx(
+            erlang_b(4, 4.0), abs=0.02
+        )
+
+    def test_mid_run_failure_blends_regimes(self, rng):
+        # 8 servers for the first half, 4 for the second: loss lands
+        # between the two pure regimes.
+        result = network().run(
+            20_000.0, rng, capacity_schedule=[(10_000.0, 4)]
+        )
+        lo = erlang_b(8, 4.0)
+        hi = erlang_b(4, 4.0)
+        assert lo < result.per_service_loss["s"] < hi
+
+    def test_repair_restores_service(self, rng_factory):
+        # Fail at t=0, repair at t=1000 of a 20000 s run: loss must be far
+        # closer to the healthy regime than to the failed one.
+        result = network().run(
+            20_000.0,
+            rng_factory(4),
+            capacity_schedule=[(0.0, 2), (1_000.0, 8)],
+        )
+        failed = erlang_b(2, 4.0)
+        assert result.per_service_loss["s"] < 0.25 * failed
+
+    def test_total_outage_blocks_everything_after(self, rng):
+        result = network().run(
+            5_000.0, rng, capacity_schedule=[(2_500.0, 0)]
+        )
+        # Roughly half of the arrivals fall in the outage window.
+        assert 0.3 < result.per_service_loss["s"] < 0.7
+
+    def test_in_flight_requests_drain_gracefully(self, rng):
+        # Shrinking does not kill in-flight work: with slow service and a
+        # capacity drop, completions keep happening after the drop.
+        slow = LossNetwork(
+            4, [ServiceTraffic.exponential("s", 1.0, {CPU: 0.05})]
+        )
+        result = slow.run(200.0, rng, capacity_schedule=[(100.0, 1)])
+        accepted = result.per_service_arrived["s"] - result.per_service_blocked["s"]
+        assert accepted > 0
+
+    def test_utilization_stays_bounded_under_schedules(self, rng):
+        result = network().run(
+            5_000.0, rng, capacity_schedule=[(1_000.0, 2), (3_000.0, 12)]
+        )
+        for util in result.per_resource_utilization.values():
+            assert 0.0 <= util <= 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            network().run(100.0, rng, capacity_schedule=[(-1.0, 4)])
+        with pytest.raises(ValueError):
+            network().run(100.0, rng, capacity_schedule=[(1.0, -4)])
+
+
+class TestDynamicPlanValidation:
+    def test_model_guided_shrink_preserves_qos(self, rng):
+        """End-to-end: the DynamicCapacityPlanner's night-time shrink,
+        replayed in the DES, keeps loss near the target."""
+        from repro.core.dynamic import DynamicCapacityPlanner
+        from repro.core.inputs import ServiceSpec
+
+        svc = ServiceSpec("s", 1.0, {CPU: 1.0})
+        planner = DynamicCapacityPlanner(
+            [svc], loss_probability=0.01, period_length=1000.0, hold_periods=0
+        )
+        day_rate, night_rate = 6.0, 1.5
+        n_day = planner.servers_needed({"s": day_rate})
+        n_night = planner.servers_needed({"s": night_rate})
+        assert n_night < n_day
+
+        # Replay: day for 10000 s at n_day, then night traffic with the
+        # pool shrunk to n_night.  Loss in both halves ~ the 1% target.
+        day_net = LossNetwork(
+            n_day, [ServiceTraffic.exponential("s", day_rate, {CPU: 1.0})]
+        )
+        day_result = day_net.run(10_000.0, rng)
+        night_net = LossNetwork(
+            n_day, [ServiceTraffic.exponential("s", night_rate, {CPU: 1.0})]
+        )
+        night_result = night_net.run(
+            10_000.0, rng, capacity_schedule=[(0.0, n_night)]
+        )
+        assert day_result.per_service_loss["s"] <= 0.02
+        assert night_result.per_service_loss["s"] <= 0.02

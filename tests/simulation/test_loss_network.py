@@ -1,0 +1,136 @@
+"""Unit tests for the loss-system and loss-network simulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import ResourceKind
+from repro.queueing.distributions import Deterministic, Exponential
+from repro.queueing.poisson import poisson_arrivals
+from repro.simulation.loss_network import (
+    LossNetwork,
+    ServiceTraffic,
+    simulate_loss_system,
+)
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+
+class TestSimulateLossSystem:
+    def test_no_blocking_under_light_load(self, rng):
+        arrivals = poisson_arrivals(0.1, 1000.0, rng)
+        result = simulate_loss_system(arrivals, Exponential(10.0), 5, rng)
+        assert result.loss_probability == 0.0
+        assert result.arrived == arrivals.size
+
+    def test_zero_servers_blocks_all(self, rng):
+        arrivals = poisson_arrivals(1.0, 100.0, rng)
+        result = simulate_loss_system(arrivals, Exponential(1.0), 0, rng)
+        assert result.loss_probability == 1.0
+
+    def test_conservation(self, rng):
+        arrivals = poisson_arrivals(5.0, 500.0, rng)
+        result = simulate_loss_system(arrivals, Exponential(1.0), 3, rng)
+        assert result.blocked + (result.arrived - result.blocked) == result.arrived
+        assert 0.0 <= result.loss_probability <= 1.0
+
+    def test_utilization_bounded(self, rng):
+        arrivals = poisson_arrivals(50.0, 200.0, rng)
+        result = simulate_loss_system(arrivals, Exponential(1.0), 4, rng)
+        assert 0.0 <= result.utilization <= 1.0
+
+    def test_deterministic_service(self, rng):
+        # Insensitivity smoke test: M/D/1/1 with rho=1 blocks ~ 1/2... the
+        # exact value for M/D/1/1 is rho/(1+rho) only for M/M; for M/G it is
+        # E_1(rho) = rho/(1+rho) by insensitivity. Check that.
+        arrivals = poisson_arrivals(1.0, 50_000.0, rng)
+        result = simulate_loss_system(arrivals, Deterministic(1.0), 1, rng)
+        assert result.loss_probability == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_unsorted(self, rng):
+        with pytest.raises(ValueError):
+            simulate_loss_system(np.array([2.0, 1.0]), Exponential(1.0), 1, rng)
+
+    def test_empty_arrivals(self, rng):
+        result = simulate_loss_system(np.empty(0), Exponential(1.0), 1, rng)
+        assert result.arrived == 0
+        assert result.loss_probability == 0.0
+
+
+class TestServiceTraffic:
+    def test_exponential_factory_drops_infinite(self):
+        t = ServiceTraffic.exponential(
+            "db", 80.0, {CPU: 100.0, DISK: float("inf")}
+        )
+        assert CPU in t.holding
+        assert DISK not in t.holding
+
+    def test_all_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTraffic.exponential("x", 1.0, {CPU: float("inf")})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceTraffic("", 1.0, {CPU: Exponential(1.0)})
+        with pytest.raises(ValueError):
+            ServiceTraffic("x", -1.0, {CPU: Exponential(1.0)})
+        with pytest.raises(ValueError):
+            ServiceTraffic("x", 1.0, {})
+
+
+class TestLossNetwork:
+    def test_single_resource_single_service_runs(self, rng):
+        net = LossNetwork(2, [ServiceTraffic.exponential("s", 3.0, {CPU: 2.0})])
+        result = net.run(500.0, rng)
+        assert result.per_service_arrived["s"] > 1000
+        assert 0.0 <= result.per_service_loss["s"] <= 1.0
+        assert 0.0 <= result.per_resource_utilization[CPU] <= 1.0
+
+    def test_conservation_per_service(self, rng):
+        net = LossNetwork(
+            3,
+            [
+                ServiceTraffic.exponential("a", 2.0, {CPU: 1.0}),
+                ServiceTraffic.exponential("b", 1.0, {CPU: 1.0, DISK: 2.0}),
+            ],
+        )
+        result = net.run(300.0, rng)
+        for name in ("a", "b"):
+            assert 0 <= result.per_service_blocked[name] <= result.per_service_arrived[name]
+        assert result.total_arrived == sum(result.per_service_arrived.values())
+
+    def test_multi_resource_blocking_dominates_single(self, rng_factory):
+        # Needing two resources can only increase blocking versus one.
+        single = LossNetwork(
+            2, [ServiceTraffic.exponential("s", 4.0, {CPU: 1.5})]
+        ).run(400.0, rng_factory(1))
+        double = LossNetwork(
+            2,
+            [ServiceTraffic.exponential("s", 4.0, {CPU: 1.5, DISK: 1.5})],
+        ).run(400.0, rng_factory(1))
+        assert (
+            double.per_service_loss["s"] >= single.per_service_loss["s"] - 0.02
+        )
+
+    def test_more_servers_less_loss(self, rng_factory):
+        traffic = [ServiceTraffic.exponential("s", 10.0, {CPU: 2.0})]
+        small = LossNetwork(2, traffic).run(300.0, rng_factory(2))
+        big = LossNetwork(10, traffic).run(300.0, rng_factory(2))
+        assert big.per_service_loss["s"] < small.per_service_loss["s"]
+
+    def test_loss_ci_brackets_estimate(self, rng):
+        net = LossNetwork(1, [ServiceTraffic.exponential("s", 2.0, {CPU: 1.0})])
+        result = net.run(500.0, rng)
+        lo, hi = result.per_service_loss_ci["s"]
+        assert lo <= result.per_service_loss["s"] <= hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossNetwork(0, [ServiceTraffic.exponential("s", 1.0, {CPU: 1.0})])
+        with pytest.raises(ValueError):
+            LossNetwork(1, [])
+        t = ServiceTraffic.exponential("s", 1.0, {CPU: 1.0})
+        with pytest.raises(ValueError):
+            LossNetwork(1, [t, t])
+        with pytest.raises(ValueError):
+            LossNetwork(1, [t]).run(0.0, np.random.default_rng())

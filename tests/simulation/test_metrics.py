@@ -1,0 +1,110 @@
+"""Unit tests for the online statistics accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import LossCounter, RunningStats, TimeWeightedStat
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(5.0, 2.0, 10_000)
+        stats = RunningStats()
+        for x in xs:
+            stats.add(float(x))
+        assert stats.mean == pytest.approx(xs.mean())
+        assert stats.variance == pytest.approx(xs.var(ddof=1), rel=1e-9)
+        assert stats.minimum == xs.min()
+        assert stats.maximum == xs.max()
+        assert stats.count == 10_000
+
+    def test_single_observation(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.mean == 3.0
+        assert stats.variance == 0.0
+        assert stats.confidence_interval() == (3.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().mean
+
+    def test_confidence_interval_covers_mean(self, rng):
+        xs = rng.normal(0.0, 1.0, 5000)
+        stats = RunningStats()
+        for x in xs:
+            stats.add(float(x))
+        lo, hi = stats.confidence_interval()
+        assert lo < 0.05 and hi > -0.05
+
+
+class TestTimeWeightedStat:
+    def test_step_function_average(self):
+        tw = TimeWeightedStat(0.0, start_time=0.0)
+        tw.update(10.0, 4.0)   # value 0 held on [0, 10)
+        tw.update(20.0, 0.0)   # value 4 held on [10, 20)
+        assert tw.time_average(20.0) == pytest.approx(2.0)
+
+    def test_current_and_max(self):
+        tw = TimeWeightedStat(1.0)
+        tw.update(5.0, 7.0)
+        tw.update(6.0, 3.0)
+        assert tw.current == 3.0
+        assert tw.maximum == 7.0
+
+    def test_finalize_extends_tail(self):
+        tw = TimeWeightedStat(2.0, start_time=0.0)
+        tw.finalize(10.0)
+        assert tw.time_average() == pytest.approx(2.0)
+
+    def test_average_with_now_beyond_last_update(self):
+        tw = TimeWeightedStat(0.0)
+        tw.update(5.0, 10.0)
+        # Value 10 held from t=5 to t=10.
+        assert tw.time_average(10.0) == pytest.approx(5.0)
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeightedStat(0.0)
+        tw.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 1.0)
+        with pytest.raises(ValueError):
+            tw.time_average(4.0)
+
+    def test_zero_duration_returns_current(self):
+        tw = TimeWeightedStat(3.0, start_time=1.0)
+        assert tw.time_average(1.0) == 3.0
+
+
+class TestLossCounter:
+    def test_counts(self):
+        c = LossCounter()
+        for accepted in (True, True, False, True):
+            c.record(accepted)
+        assert c.arrived == 4
+        assert c.blocked == 1
+        assert c.accepted == 3
+        assert c.loss_probability == pytest.approx(0.25)
+
+    def test_empty_counter(self):
+        c = LossCounter()
+        assert c.loss_probability == 0.0
+        assert c.loss_confidence_interval() == (0.0, 1.0)
+
+    def test_wilson_interval_contains_estimate(self):
+        c = LossCounter()
+        for i in range(1000):
+            c.record(i % 100 != 0)  # 1% loss
+        lo, hi = c.loss_confidence_interval()
+        assert lo <= 0.01 <= hi
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_interval_narrows_with_samples(self):
+        small, large = LossCounter(), LossCounter()
+        for i in range(100):
+            small.record(i % 10 != 0)
+        for i in range(10_000):
+            large.record(i % 10 != 0)
+        w_small = np.diff(small.loss_confidence_interval())[0]
+        w_large = np.diff(large.loss_confidence_interval())[0]
+        assert w_large < w_small

@@ -1,0 +1,93 @@
+"""Unit + validation tests for the multi-tier tandem simulation."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.mmn import mmn_delay_metrics
+from repro.simulation.tandem import TierSpec, simulate_tandem
+
+
+def two_tiers(a_web=1.0, a_db=1.0, db_visit=1.0):
+    # Web tier: 2 servers at mu=10; DB tier: 4 servers at mu=2.
+    return [
+        TierSpec("web", 2, 1.0 / 10.0, impact_factor=a_web),
+        TierSpec("db", 4, 1.0 / 2.0, impact_factor=a_db, visit_ratio=db_visit),
+    ]
+
+
+class TestTierSpec:
+    def test_impact_factor_scales_service(self):
+        t = TierSpec("db", 1, 1.0, impact_factor=0.5)
+        assert t.service.mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierSpec("", 1, 1.0)
+        with pytest.raises(ValueError):
+            TierSpec("x", 0, 1.0)
+        with pytest.raises(ValueError):
+            TierSpec("x", 1, 1.0, impact_factor=0.0)
+        with pytest.raises(ValueError):
+            TierSpec("x", 1, 1.0, visit_ratio=0.0)
+
+
+class TestSimulation:
+    def test_all_requests_complete(self, rng):
+        result = simulate_tandem(3.0, two_tiers(), 2000.0, rng)
+        assert result.completed == pytest.approx(3.0 * 2000.0, rel=0.1)
+        assert result.tier("web").visits == result.tier("db").visits
+
+    def test_jackson_tandem_matches_product_form(self, rng):
+        # Exponential everywhere: end-to-end mean response equals the sum
+        # of per-tier M/M/n response times (Burke's theorem).
+        lam = 3.0
+        result = simulate_tandem(lam, two_tiers(), 30_000.0, rng)
+        expected = (
+            mmn_delay_metrics(lam, 10.0, 2).mean_response_time
+            + mmn_delay_metrics(lam, 2.0, 4).mean_response_time
+        )
+        assert result.mean_response_time == pytest.approx(expected, rel=0.05)
+
+    def test_per_tier_utilization(self, rng):
+        lam = 3.0
+        result = simulate_tandem(lam, two_tiers(), 10_000.0, rng)
+        assert result.tier("web").utilization == pytest.approx(
+            lam / 10.0 / 2.0, abs=0.03
+        )
+        assert result.tier("db").utilization == pytest.approx(
+            lam / 2.0 / 4.0, abs=0.05
+        )
+
+    def test_visit_ratio_thins_tier(self, rng):
+        result = simulate_tandem(4.0, two_tiers(db_visit=0.25), 5000.0, rng)
+        web, db = result.tier("web"), result.tier("db")
+        assert db.visits == pytest.approx(0.25 * web.visits, rel=0.15)
+
+    def test_per_tier_impact_slows_only_that_tier(self, rng_factory):
+        base = simulate_tandem(2.0, two_tiers(), 20_000.0, rng_factory(1))
+        slowed = simulate_tandem(
+            2.0, two_tiers(a_db=0.5), 20_000.0, rng_factory(2)
+        )
+        assert slowed.tier("db").mean_service == pytest.approx(
+            2.0 * base.tier("db").mean_service, rel=0.1
+        )
+        assert slowed.tier("web").mean_service == pytest.approx(
+            base.tier("web").mean_service, rel=0.1
+        )
+        assert slowed.mean_response_time > base.mean_response_time
+
+    def test_bottleneck_tier_dominates_under_load(self, rng):
+        # Push DB near saturation: its sojourn dwarfs the web tier's.
+        result = simulate_tandem(7.0, two_tiers(), 20_000.0, rng)
+        assert result.tier("db").mean_sojourn > 3.0 * result.tier("web").mean_sojourn
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_tandem(0.0, two_tiers(), 10.0, rng)
+        with pytest.raises(ValueError):
+            simulate_tandem(1.0, [], 10.0, rng)
+        with pytest.raises(ValueError):
+            simulate_tandem(1.0, two_tiers(), 0.0, rng)
+        dup = [TierSpec("x", 1, 1.0), TierSpec("x", 1, 1.0)]
+        with pytest.raises(ValueError):
+            simulate_tandem(1.0, dup, 10.0, rng)

@@ -1,0 +1,110 @@
+"""Tests for the repro-plan CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import DeploymentError, main, parse_deployment
+
+VALID_DOC = {
+    "loss_probability": 0.01,
+    "services": [
+        {
+            "name": "web",
+            "arrival_rate": 1200.0,
+            "service_rates": {"cpu": 3360.0, "disk_io": 1420.0},
+            "impact_factors": {"cpu": 0.65, "disk_io": 0.8},
+        },
+        {
+            "name": "db",
+            "arrival_rate": 80.0,
+            "service_rates": {"cpu": 100.0},
+            "impact_factors": {"cpu": 0.9},
+            "loss_probability": 0.001,
+        },
+    ],
+    "xen_idle_factor": 0.91,
+    "xen_workload_factor": 0.70,
+}
+
+
+def write(tmp_path, doc):
+    path = tmp_path / "deployment.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestParseDeployment:
+    def test_valid_document(self):
+        inputs, targets, planner = parse_deployment(VALID_DOC)
+        assert {s.name for s in inputs.services} == {"web", "db"}
+        assert targets == {"db": 0.001}
+        assert planner.xen_idle_factor == 0.91
+
+    def test_missing_services(self):
+        with pytest.raises(DeploymentError):
+            parse_deployment({"loss_probability": 0.01, "services": []})
+
+    def test_missing_loss_probability(self):
+        with pytest.raises(DeploymentError):
+            parse_deployment({"services": VALID_DOC["services"]})
+
+    def test_unknown_resource(self):
+        doc = {
+            "loss_probability": 0.01,
+            "services": [
+                {"name": "x", "arrival_rate": 1.0, "service_rates": {"gpu": 1.0}}
+            ],
+        }
+        with pytest.raises(DeploymentError, match="gpu"):
+            parse_deployment(doc)
+
+    def test_invalid_service_values(self):
+        doc = {
+            "loss_probability": 0.01,
+            "services": [
+                {"name": "x", "arrival_rate": -1.0, "service_rates": {"cpu": 1.0}}
+            ],
+        }
+        with pytest.raises(DeploymentError):
+            parse_deployment(doc)
+
+
+class TestMain:
+    def test_text_output(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC)]) == 0
+        out = capsys.readouterr().out
+        assert "M = 8" in out
+        assert "N = 4" in out
+        assert "Consolidated servers under targets: 5" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dedicated_servers"] == 8
+        assert doc["consolidated_servers"] == 4
+        assert doc["consolidated_servers_with_targets"] == 5
+        assert doc["load_model"] == "paper"
+
+    def test_offered_mode_more_conservative(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--load-model", "offered", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["consolidated_servers"] == 6
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_semantic_error(self, tmp_path, capsys):
+        doc = dict(VALID_DOC, loss_probability=2.0)
+        assert main([write(tmp_path, doc)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_example_file_is_valid(self, capsys):
+        assert main(["examples/deployment.json"]) == 0

@@ -1,0 +1,48 @@
+"""Every shipped example must run to completion and produce its headline.
+
+Executed in-process (runpy) so coverage tools see them and failures carry
+real tracebacks.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "M (dedicated)",
+    "capacity_planning.py": "Growth sweep",
+    "measure_impact_factors.py": "Impact-factor measurement",
+    "consolidation_simulation.py": "Model optimism check",
+    "evaluate_allocation_algorithms.py": "Analytic bound",
+    "power_analysis.py": "24-hour fleet energy",
+    "dynamic_capacity_planning.py": "24-hour summary",
+    "reliability_planning.py": "N + k redundancy",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(CASES.items()))
+def test_example_runs(script, marker, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    # Examples live at repo root in their docs; run them from there.
+    monkeypatch.chdir(EXAMPLES.parent)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert marker in out, f"{script} output missing {marker!r}"
+    assert len(out) > 200
+
+
+def test_deployment_json_exists():
+    assert (EXAMPLES / "deployment.json").exists()
+
+
+def test_every_example_is_tested():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples directory and test cases out of sync: "
+        f"{scripts.symmetric_difference(set(CASES))}"
+    )

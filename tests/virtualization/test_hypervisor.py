@@ -1,0 +1,220 @@
+"""Unit tests for the simulated hypervisor and VM abstractions."""
+
+import pytest
+
+from repro.virtualization.hypervisor import (
+    FLOATING_EFFICIENCY,
+    HostSpec,
+    Hypervisor,
+)
+from repro.virtualization.vm import VcpuPlacement, VirtualMachine
+
+
+def vm(name="vm", service="svc", vcpus=1, pinned=(), memory=1.0, weight=1.0):
+    return VirtualMachine(
+        name, service, VcpuPlacement(vcpus, tuple(pinned)), memory, weight
+    )
+
+
+class TestVcpuPlacement:
+    def test_floating_default(self):
+        p = VcpuPlacement(2)
+        assert not p.pinned
+
+    def test_pinning_must_cover_all_vcpus(self):
+        with pytest.raises(ValueError):
+            VcpuPlacement(2, pinned_cores=(0,))
+
+    def test_pinned_cores_distinct(self):
+        with pytest.raises(ValueError):
+            VcpuPlacement(2, pinned_cores=(3, 3))
+
+    def test_rejects_negative_core(self):
+        with pytest.raises(ValueError):
+            VcpuPlacement(1, pinned_cores=(-1,))
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(ValueError):
+            VcpuPlacement(0)
+
+
+class TestVirtualMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vm(name="")
+        with pytest.raises(ValueError):
+            vm(service="")
+        with pytest.raises(ValueError):
+            vm(memory=0.0)
+        with pytest.raises(ValueError):
+            vm(weight=0.0)
+
+
+class TestHostSpec:
+    def test_paper_testbed_defaults(self):
+        spec = HostSpec()
+        assert spec.cores == 8
+        assert spec.guest_cores == 6
+        assert spec.guest_memory_gb == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostSpec(cores=0)
+        with pytest.raises(ValueError):
+            HostSpec(cores=4, dom0_cores=4)
+        with pytest.raises(ValueError):
+            HostSpec(memory_gb=1.0, dom0_memory_gb=2.0)
+
+
+class TestDomainLifecycle:
+    def test_create_and_destroy(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a"))
+        assert len(hv.domains) == 1
+        hv.destroy_domain("a")
+        assert len(hv.domains) == 0
+
+    def test_duplicate_name_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a"))
+        with pytest.raises(ValueError):
+            hv.create_domain(vm("a"))
+
+    def test_memory_overcommit_rejected(self):
+        hv = Hypervisor(HostSpec(memory_gb=4.0, dom0_memory_gb=1.0))
+        hv.create_domain(vm("a", memory=2.0))
+        with pytest.raises(ValueError):
+            hv.create_domain(vm("b", memory=2.0))
+
+    def test_pin_beyond_cores_rejected(self):
+        hv = Hypervisor(HostSpec(cores=4, dom0_cores=1))
+        with pytest.raises(ValueError):
+            hv.create_domain(vm("a", vcpus=1, pinned=(7,)))
+
+    def test_pin_dom0_core_rejected(self):
+        hv = Hypervisor(HostSpec(cores=4, dom0_cores=2))
+        # Dom0 reserves the last two cores (2, 3).
+        with pytest.raises(ValueError):
+            hv.create_domain(vm("a", vcpus=1, pinned=(3,)))
+
+    def test_double_pin_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a", vcpus=1, pinned=(0,)))
+        with pytest.raises(ValueError):
+            hv.create_domain(vm("b", vcpus=1, pinned=(0,)))
+
+    def test_destroy_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Hypervisor().destroy_domain("ghost")
+
+
+class TestScheduling:
+    def test_paper_configuration_grants(self):
+        # 6-vCPU pinned DB VM + 1-vCPU floating Web VM on an 8-core host.
+        hv = Hypervisor()
+        hv.create_domain(vm("db", vcpus=6, pinned=(0, 1, 2, 3, 4, 5)))
+        hv.create_domain(vm("web", vcpus=1))
+        alloc = hv.allocate()
+        # 7 vCPUs want 6 guest cores: both get close to their demand with
+        # fair sharing; grants must exhaust the guest cores.
+        total = alloc["db"].cores_granted + alloc["web"].cores_granted
+        assert total == pytest.approx(6.0)
+        assert alloc["db"].cores_granted >= 5.0
+        assert alloc["web"].cores_granted > 0.0
+
+    def test_work_conserving_redistribution(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a", vcpus=6))
+        hv.create_domain(vm("b", vcpus=6))
+        # b wants almost nothing; a should scoop up the slack.
+        alloc = hv.allocate({"a": 6.0, "b": 0.5})
+        assert alloc["b"].cores_granted == pytest.approx(0.5)
+        assert alloc["a"].cores_granted == pytest.approx(5.5)
+
+    def test_weight_proportional_split(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a", vcpus=6, weight=2.0))
+        hv.create_domain(vm("b", vcpus=6, weight=1.0))
+        alloc = hv.allocate()
+        assert alloc["a"].cores_granted == pytest.approx(4.0)
+        assert alloc["b"].cores_granted == pytest.approx(2.0)
+
+    def test_pinned_efficiency_beats_floating_under_contention(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("p", vcpus=3, pinned=(0, 1, 2)))
+        hv.create_domain(vm("f", vcpus=3))
+        alloc = hv.allocate()
+        assert alloc["p"].efficiency > alloc["f"].efficiency
+
+    def test_floating_penalty_scales_with_contention(self):
+        light = Hypervisor()
+        light.create_domain(vm("a", vcpus=1))
+        heavy = Hypervisor()
+        for i in range(6):
+            heavy.create_domain(vm(f"vm{i}", vcpus=2))
+        a_light = light.allocate()["a"].efficiency
+        a_heavy = heavy.allocate()["vm0"].efficiency
+        assert a_heavy < a_light
+
+    def test_grant_capped_by_vcpus(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a", vcpus=2))
+        alloc = hv.allocate({"a": 100.0})
+        assert alloc["a"].cores_granted == pytest.approx(2.0)
+
+    def test_io_efficiency_decays_with_domains(self):
+        few = Hypervisor()
+        few.create_domain(vm("a", vcpus=1))
+        many = Hypervisor()
+        for i in range(6):
+            many.create_domain(vm(f"d{i}", vcpus=1, memory=1.0))
+        assert many._io_efficiency() < few._io_efficiency()
+
+    def test_unknown_demand_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a"))
+        with pytest.raises(KeyError):
+            hv.allocate({"ghost": 1.0})
+
+    def test_negative_demand_rejected(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a"))
+        with pytest.raises(ValueError):
+            hv.allocate({"a": -1.0})
+
+    def test_cpu_capacity_fraction(self):
+        hv = Hypervisor()
+        hv.create_domain(vm("a", vcpus=6))
+        frac = hv.cpu_capacity_fraction("a")
+        assert 0.0 < frac <= 6.0 / 8.0
+        with pytest.raises(KeyError):
+            hv.cpu_capacity_fraction("ghost")
+
+
+class TestCreditCaps:
+    def test_cap_limits_even_on_idle_host(self):
+        hv = Hypervisor()
+        capped = VirtualMachine(
+            "capped", "svc", VcpuPlacement(4), memory_gb=1.0, cap=1.5
+        )
+        hv.create_domain(capped)
+        alloc = hv.allocate()
+        # Host has 6 free guest cores, but the cap binds at 1.5.
+        assert alloc["capped"].cores_granted == pytest.approx(1.5)
+
+    def test_capped_slack_flows_to_others(self):
+        hv = Hypervisor()
+        hv.create_domain(
+            VirtualMachine("capped", "a", VcpuPlacement(6), memory_gb=1.0, cap=1.0)
+        )
+        hv.create_domain(vm("hungry", vcpus=6))
+        alloc = hv.allocate()
+        assert alloc["capped"].cores_granted == pytest.approx(1.0)
+        assert alloc["hungry"].cores_granted == pytest.approx(5.0)
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            VirtualMachine("x", "svc", VcpuPlacement(1), cap=0.0)
+
+    def test_uncapped_default(self):
+        assert vm("a").cap is None

@@ -1,0 +1,121 @@
+"""Unit tests for the impact-factor models and their fitting."""
+
+import numpy as np
+import pytest
+
+from repro.virtualization.impact import (
+    DB_CPU_IMPACT,
+    DB_CPU_IMPACT_LITERAL,
+    WEB_CPU_IMPACT,
+    WEB_DISK_IO_IMPACT,
+    ConstantImpactModel,
+    LinearImpactModel,
+    SaturatingImpactModel,
+    fit_linear_impact,
+    fit_saturating_impact,
+)
+
+
+class TestLinearModel:
+    def test_published_web_io_values(self):
+        # a(v) = -0.012 v + 1.082 (the line literally exceeds 1 at small v).
+        assert WEB_DISK_IO_IMPACT.impact(9) == pytest.approx(1.082 - 0.108)
+        assert WEB_DISK_IO_IMPACT.impact(1) == pytest.approx(1.07)
+
+    def test_published_web_cpu_values(self):
+        assert WEB_CPU_IMPACT.impact(1) == pytest.approx(0.658 - 0.039)
+        assert WEB_CPU_IMPACT.impact(9) == pytest.approx(0.658 - 0.351)
+
+    def test_clipped_to_positive(self):
+        m = LinearImpactModel(slope=-0.5, intercept=1.0)
+        assert m.impact(100) > 0.0
+
+    def test_cap_respected(self):
+        m = LinearImpactModel(slope=0.1, intercept=1.0, cap=1.0)
+        assert m.impact(50) == 1.0
+
+    def test_inverse(self):
+        m = LinearImpactModel(slope=-0.04, intercept=1.0)
+        assert m.vms_at_impact(0.6) == pytest.approx(10.0)
+
+    def test_flat_line_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            LinearImpactModel(slope=0.0, intercept=0.5).vms_at_impact(0.5)
+
+    def test_rejects_negative_vms(self):
+        with pytest.raises(ValueError):
+            WEB_CPU_IMPACT.impact(-1)
+
+    def test_vectorised(self):
+        vals = WEB_CPU_IMPACT.impacts([1, 2, 3])
+        assert vals.shape == (3,)
+        assert (np.diff(vals) < 0).all()
+
+
+class TestSaturatingModel:
+    def test_anchored_at_one_for_single_vm(self):
+        # Our reconstruction pins a(1) = 1.0 (native ~ 1 VM in Fig. 8).
+        assert DB_CPU_IMPACT.impact(1) == pytest.approx(1.0)
+
+    def test_ceiling_approached(self):
+        assert DB_CPU_IMPACT.impact(100) == pytest.approx(1.85, rel=1e-3)
+
+    def test_multi_vm_speedup(self):
+        # The software-bottleneck story: several VMs beat one.
+        assert DB_CPU_IMPACT.impact(4) > 1.5
+        assert DB_CPU_IMPACT.impact(2) > 1.4
+
+    def test_monotone_increasing(self):
+        vals = [DB_CPU_IMPACT.impact(v) for v in range(1, 10)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_literal_variant_differs(self):
+        assert DB_CPU_IMPACT_LITERAL.impact(1) > DB_CPU_IMPACT.impact(1)
+
+    def test_zero_vms_is_tiny(self):
+        assert DB_CPU_IMPACT.impact(0) < 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingImpactModel(ceiling=0.0, half_v2=1.0)
+        with pytest.raises(ValueError):
+            SaturatingImpactModel(ceiling=1.0, half_v2=0.0)
+
+
+class TestConstantModel:
+    def test_constant(self):
+        m = ConstantImpactModel(0.7)
+        assert m.impact(1) == m.impact(9) == 0.7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantImpactModel(0.0)
+
+
+class TestFitting:
+    def test_linear_fit_recovers_exact_line(self):
+        v = np.arange(1.0, 10.0)
+        a = -0.012 * v + 1.082
+        fit = fit_linear_impact(v, a, cap=2.0)
+        assert fit.slope == pytest.approx(-0.012, abs=1e-9)
+        assert fit.intercept == pytest.approx(1.082, abs=1e-9)
+
+    def test_linear_fit_robust_to_noise(self, rng):
+        v = np.arange(1.0, 10.0)
+        a = -0.039 * v + 0.658 + 0.005 * rng.standard_normal(v.size)
+        fit = fit_linear_impact(v, a)
+        assert fit.slope == pytest.approx(-0.039, abs=0.01)
+        assert fit.intercept == pytest.approx(0.658, abs=0.03)
+
+    def test_saturating_fit_recovers_parameters(self):
+        v = np.arange(1.0, 10.0)
+        a = np.array([DB_CPU_IMPACT.impact(x) for x in v])
+        fit = fit_saturating_impact(v, a)
+        assert fit.ceiling == pytest.approx(1.85, rel=1e-3)
+        assert fit.half_v2 == pytest.approx(0.85, rel=1e-2)
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_linear_impact(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_saturating_impact(np.array([0.0, 1.0]), np.array([0.1, 1.0]))

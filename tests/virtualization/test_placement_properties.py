@@ -1,0 +1,68 @@
+"""Property-based tests for VM placement."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inputs import ResourceKind
+from repro.virtualization.placement import (
+    VmDemand,
+    best_fit_decreasing,
+    first_fit_decreasing,
+)
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK_IO
+
+demands = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def vm_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    vms = []
+    for i in range(n):
+        d = {CPU: draw(demands)}
+        if draw(st.booleans()):
+            d[DISK] = draw(demands)
+        vms.append(VmDemand(f"v{i}", d))
+    return vms
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_lists())
+def test_every_vm_placed_no_overcommit(vms):
+    for pack in (first_fit_decreasing, best_fit_decreasing):
+        plan = pack(vms)
+        assert set(plan.assignments) == {vm.name for vm in vms}
+        plan.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_lists())
+def test_hosts_at_least_volume_lower_bound(vms):
+    # No packing can beat the per-dimension volume bound.
+    for pack in (first_fit_decreasing, best_fit_decreasing):
+        plan = pack(vms)
+        for kind in (CPU, DISK):
+            total = sum(vm.demands.get(kind, 0.0) for vm in vms)
+            assert plan.hosts_used >= math.ceil(total - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_lists())
+def test_ffd_within_factor_two_of_volume(vms):
+    # FFD on the dominant dimension uses < 2x the dominant-volume bound + 1
+    # (each pair of hosts is > 1.0 full in the dominant dimension).
+    plan = first_fit_decreasing(vms)
+    dominant_volume = sum(vm.size for vm in vms)
+    assert plan.hosts_used <= 2.0 * dominant_volume + 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_lists())
+def test_packing_deterministic(vms):
+    a = first_fit_decreasing(vms)
+    b = first_fit_decreasing(vms)
+    assert a.assignments == b.assignments

@@ -1,0 +1,171 @@
+"""Unit tests for the Rainbow-like flow controllers."""
+
+import pytest
+
+from repro.virtualization.rainbow import (
+    IdealFlow,
+    PriorityFlow,
+    ProportionalFlow,
+    StaticPartition,
+)
+
+DEMANDS = {"web": 3.0, "db": 1.0}
+
+
+def total(shares):
+    return sum(shares.values())
+
+
+class TestStaticPartition:
+    def test_fixed_split_ignores_demand(self):
+        c = StaticPartition(fractions={"web": 0.5, "db": 0.5})
+        shares = c.shares({"web": 10.0, "db": 0.0}, 4.0)
+        assert shares == {"web": 2.0, "db": 2.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticPartition(fractions={})
+        with pytest.raises(ValueError):
+            StaticPartition(fractions={"a": 0.7, "b": 0.7})
+        with pytest.raises(ValueError):
+            StaticPartition(fractions={"a": -0.1})
+
+
+class TestProportionalFlow:
+    def test_work_conserving_under_slack(self):
+        c = ProportionalFlow()
+        shares = c.shares({"web": 1.0, "db": 0.2}, 4.0)
+        # Everyone fully satisfied; nothing wasted clipping.
+        assert shares["web"] == pytest.approx(1.0)
+        assert shares["db"] == pytest.approx(0.2)
+
+    def test_proportional_under_pressure(self):
+        c = ProportionalFlow()
+        shares = c.shares({"web": 3.0, "db": 1.0}, 2.0)
+        assert total(shares) == pytest.approx(2.0)
+        assert shares["web"] == pytest.approx(1.5)
+        assert shares["db"] == pytest.approx(0.5)
+
+    def test_equal_loss_fractions_when_rationed(self):
+        c = ProportionalFlow()
+        shares = c.shares({"web": 5.0, "db": 0.5}, 4.0)
+        # Proportional fairness: both services lose the same fraction, and
+        # the whole capacity is handed out (work conservation).
+        assert total(shares) == pytest.approx(4.0)
+        assert shares["web"] / 5.0 == pytest.approx(shares["db"] / 0.5)
+
+    def test_exactly_sufficient_capacity_satisfies_all(self):
+        c = ProportionalFlow()
+        shares = c.shares({"web": 3.0, "db": 1.0}, 4.0)
+        assert shares["web"] == pytest.approx(3.0)
+        assert shares["db"] == pytest.approx(1.0)
+
+    def test_never_exceeds_capacity_or_demand(self):
+        c = ProportionalFlow()
+        shares = c.shares({"a": 2.0, "b": 7.0, "c": 0.0}, 5.0)
+        assert total(shares) <= 5.0 + 1e-9
+        assert shares["a"] <= 2.0 + 1e-9
+        assert shares["c"] == 0.0
+
+    def test_zero_capacity(self):
+        shares = ProportionalFlow().shares(DEMANDS, 0.0)
+        assert total(shares) == 0.0
+
+    def test_reallocation_tax(self):
+        c = ProportionalFlow(reallocation_tax=0.1)
+        assert c.effective_capacity(10.0, changed=True) == pytest.approx(9.0)
+        assert c.effective_capacity(10.0, changed=False) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProportionalFlow(reallocation_tax=1.0)
+        with pytest.raises(ValueError):
+            ProportionalFlow().shares({"a": -1.0}, 1.0)
+        with pytest.raises(ValueError):
+            ProportionalFlow().shares({"a": 1.0}, -1.0)
+
+
+class TestPriorityFlow:
+    def test_high_priority_served_first(self):
+        c = PriorityFlow(priority_order=("db", "web"))
+        shares = c.shares({"web": 3.0, "db": 2.0}, 2.5)
+        assert shares["db"] == pytest.approx(2.0)
+        assert shares["web"] == pytest.approx(0.5)
+
+    def test_leftover_flows_down(self):
+        c = PriorityFlow(priority_order=("db", "web"))
+        shares = c.shares({"web": 1.0, "db": 0.5}, 4.0)
+        assert shares["db"] == pytest.approx(0.5)
+        assert shares["web"] == pytest.approx(1.0)
+
+    def test_unlisted_services_share_remainder(self):
+        c = PriorityFlow(priority_order=("db",))
+        shares = c.shares({"db": 1.0, "x": 2.0, "y": 2.0}, 3.0)
+        assert shares["db"] == pytest.approx(1.0)
+        assert shares["x"] == pytest.approx(1.0)
+        assert shares["y"] == pytest.approx(1.0)
+
+    def test_duplicate_priority_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityFlow(priority_order=("a", "a"))
+
+
+class TestIdealFlow:
+    def test_matches_proportional_untaxed(self):
+        demands = {"web": 3.0, "db": 1.5}
+        assert IdealFlow().shares(demands, 2.0) == ProportionalFlow().shares(
+            demands, 2.0
+        )
+
+    def test_zero_tax(self):
+        assert IdealFlow().reallocation_tax == 0.0
+
+
+class TestPredictiveFlow:
+    def test_steady_demand_matches_proportional(self):
+        from repro.virtualization.rainbow import PredictiveFlow
+
+        c = PredictiveFlow(alpha=0.5)
+        demands = {"web": 3.0, "db": 1.0}
+        last = None
+        for _ in range(10):
+            last = c.shares(demands, 2.0)
+        expected = ProportionalFlow().shares(demands, 2.0)
+        for name in demands:
+            assert last[name] == pytest.approx(expected[name], rel=1e-6)
+
+    def test_lags_sudden_burst(self):
+        from repro.virtualization.rainbow import PredictiveFlow
+
+        c = PredictiveFlow(alpha=0.3)
+        for _ in range(5):
+            c.shares({"web": 1.0, "db": 1.0}, 4.0)
+        # Burst: web jumps to 3.0 but the forecast still says ~1.0.
+        grants = c.shares({"web": 3.0, "db": 1.0}, 4.0)
+        assert grants["web"] < 3.0  # the lag loses work this period
+
+    def test_catches_up_after_burst(self):
+        from repro.virtualization.rainbow import PredictiveFlow
+
+        c = PredictiveFlow(alpha=0.5)
+        for _ in range(3):
+            c.shares({"web": 1.0}, 4.0)
+        for _ in range(10):
+            grants = c.shares({"web": 3.0}, 4.0)
+        assert grants["web"] == pytest.approx(3.0, rel=0.05)
+
+    def test_grants_never_exceed_capacity(self):
+        from repro.virtualization.rainbow import PredictiveFlow
+
+        c = PredictiveFlow(alpha=0.2)
+        for d in (1.0, 5.0, 0.5, 8.0):
+            grants = c.shares({"a": d, "b": d * 2}, 3.0)
+            assert sum(grants.values()) <= 3.0 + 1e-9
+
+    def test_validation(self):
+        from repro.virtualization.rainbow import PredictiveFlow
+
+        with pytest.raises(ValueError):
+            PredictiveFlow(alpha=0.0)
+        with pytest.raises(ValueError):
+            PredictiveFlow(alpha=0.5, reallocation_tax=1.0)

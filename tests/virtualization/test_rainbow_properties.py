@@ -1,0 +1,67 @@
+"""Property-based tests for the flow controllers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virtualization.rainbow import IdealFlow, PriorityFlow, ProportionalFlow
+
+demand_values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+capacities = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def demand_maps(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    return {f"svc{i}": draw(demand_values) for i in range(n)}
+
+
+CONTROLLERS = [
+    ProportionalFlow(),
+    IdealFlow(),
+    PriorityFlow(priority_order=("svc0", "svc1")),
+]
+
+
+@settings(max_examples=80)
+@given(demand_maps(), capacities)
+def test_grants_bounded_by_capacity_and_demand(demands, capacity):
+    for controller in CONTROLLERS:
+        shares = controller.shares(demands, capacity)
+        assert sum(shares.values()) <= capacity + 1e-6
+        for name, grant in shares.items():
+            assert grant >= -1e-12
+            assert grant <= demands.get(name, 0.0) + 1e-6
+
+
+@settings(max_examples=80)
+@given(demand_maps(), capacities)
+def test_work_conservation(demands, capacity):
+    # Flowing controllers leave no capacity idle while demand is unmet.
+    for controller in (ProportionalFlow(), IdealFlow()):
+        shares = controller.shares(demands, capacity)
+        served = sum(shares.values())
+        total_demand = sum(demands.values())
+        assert served == min(capacity, total_demand) or abs(
+            served - min(capacity, total_demand)
+        ) < 1e-6
+
+
+@settings(max_examples=80)
+@given(demand_maps(), capacities)
+def test_ideal_serves_at_least_as_much_as_priority(demands, capacity):
+    ideal = sum(IdealFlow().shares(demands, capacity).values())
+    prio = sum(
+        PriorityFlow(priority_order=tuple(sorted(demands)))
+        .shares(demands, capacity)
+        .values()
+    )
+    assert ideal >= prio - 1e-6
+
+
+@settings(max_examples=80)
+@given(demand_maps(), st.floats(min_value=0.1, max_value=100.0))
+def test_scaling_capacity_scales_proportional_grants(demands, capacity):
+    base = ProportionalFlow().shares(demands, capacity)
+    doubled = ProportionalFlow().shares(demands, capacity * 2.0)
+    for name in demands:
+        assert doubled[name] >= base[name] - 1e-9

@@ -1,0 +1,98 @@
+"""Unit tests for session-structured workloads."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.distributions import Deterministic, Exponential
+from repro.workloads.sessions import (
+    SessionProfile,
+    generate_session_arrivals,
+    index_of_dispersion,
+)
+
+
+class TestSessionProfile:
+    def test_request_rate(self):
+        p = SessionProfile(session_rate=2.0, requests_per_session=5.0)
+        assert p.request_rate == pytest.approx(10.0)
+
+    def test_think_time_coercion(self):
+        p = SessionProfile(1.0, 3.0, think_time=0.5)
+        assert isinstance(p.think_time, Exponential)
+        assert p.think_time.mean == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionProfile(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            SessionProfile(1.0, 0.5)
+
+
+class TestGeneration:
+    def test_sorted_within_horizon(self, rng):
+        p = SessionProfile(1.0, 8.0, think_time=Deterministic(2.0))
+        t = generate_session_arrivals(p, 500.0, rng)
+        assert (np.diff(t) >= 0).all()
+        assert t.size == 0 or (t >= 0).all() and t.max() < 500.0
+
+    def test_long_run_rate(self, rng):
+        p = SessionProfile(2.0, 5.0, think_time=Exponential(2.0))
+        t = generate_session_arrivals(p, 5000.0, rng)
+        # Boundary truncation shaves a little; allow 10%.
+        assert t.size == pytest.approx(2.0 * 5.0 * 5000.0, rel=0.1)
+
+    def test_zero_rate_empty(self, rng):
+        p = SessionProfile(0.0, 5.0)
+        assert generate_session_arrivals(p, 100.0, rng).size == 0
+
+    def test_single_request_sessions_reduce_to_poisson(self, rng):
+        # requests_per_session -> 1: the stream is the session Poisson
+        # process itself, so dispersion ~ 1.
+        p = SessionProfile(5.0, 1.0 + 1e-9)
+        t = generate_session_arrivals(p, 4000.0, rng)
+        assert index_of_dispersion(t, 4000.0, 10.0) == pytest.approx(1.0, abs=0.2)
+
+    def test_sessions_are_burstier_than_poisson(self, rng):
+        # Tight think times pack a session's requests into a short window:
+        # dispersion well above 1.
+        p = SessionProfile(0.5, 20.0, think_time=Exponential(10.0))
+        t = generate_session_arrivals(p, 4000.0, rng)
+        assert index_of_dispersion(t, 4000.0, 5.0) > 2.0
+
+    def test_rejects_bad_horizon(self, rng):
+        with pytest.raises(ValueError):
+            generate_session_arrivals(SessionProfile(1.0, 2.0), 0.0, rng)
+
+
+class TestDispersion:
+    def test_poisson_reference(self, rng):
+        from repro.queueing.poisson import poisson_arrivals
+
+        t = poisson_arrivals(10.0, 3000.0, rng)
+        assert index_of_dispersion(t, 3000.0, 5.0) == pytest.approx(1.0, abs=0.15)
+
+    def test_empty_stream(self):
+        assert index_of_dispersion(np.empty(0), 100.0, 10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.array([1.0]), 10.0, 0.0)
+        with pytest.raises(ValueError):
+            index_of_dispersion(np.array([1.0]), 10.0, 20.0)
+
+
+class TestModelStressAblation:
+    def test_bursty_arrivals_raise_blocking_above_erlang(self, rng):
+        """The Poisson assumption matters: session bursts block more."""
+        from repro.queueing.erlang import erlang_b, min_servers
+        from repro.simulation.loss_network import simulate_loss_system
+
+        service_rate = 1.0
+        profile = SessionProfile(0.4, 10.0, think_time=Exponential(5.0))
+        lam = profile.request_rate  # 4 req/s long-run
+        rho = lam / service_rate
+        servers = min_servers(rho, 0.05)
+        bursty = generate_session_arrivals(profile, 30_000.0, rng)
+        result = simulate_loss_system(bursty, 1.0 / service_rate, servers, rng)
+        # Erlang promised <= 5%; bursty arrivals exceed it.
+        assert result.loss_probability > erlang_b(servers, rho)

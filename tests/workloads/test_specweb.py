@@ -1,0 +1,112 @@
+"""Unit tests for the SPECweb2005-like web service model."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import ResourceKind
+from repro.virtualization.impact import WEB_CPU_IMPACT, WEB_DISK_IO_IMPACT
+from repro.workloads.specweb import (
+    SINGLE_FILE_8KB,
+    SPECWEB_FILESET,
+    WebFileSet,
+    WebServiceModel,
+)
+
+
+class TestWebFileSet:
+    def test_specweb_fileset_is_disk_bound(self):
+        assert SPECWEB_FILESET.bottleneck is ResourceKind.DISK_IO
+        assert SPECWEB_FILESET.cache_hit_fraction < 1.0
+
+    def test_single_file_is_cpu_bound(self):
+        assert SINGLE_FILE_8KB.bottleneck is ResourceKind.CPU
+        assert SINGLE_FILE_8KB.cache_hit_fraction == 1.0
+
+    def test_sizes_sum_to_total(self, rng):
+        fs = WebFileSet(total_bytes=1e9, files=1000)
+        sizes = fs.sample_sizes(rng)
+        assert sizes.sum() == pytest.approx(1e9)
+        assert sizes.shape == (1000,)
+        assert (sizes > 0).all()
+
+    def test_popularity_is_distribution(self):
+        fs = WebFileSet(total_bytes=1e9, files=500)
+        pop = fs.popularity()
+        assert pop.sum() == pytest.approx(1.0)
+        assert (np.diff(pop) <= 0).all()  # rank-ordered Zipf
+
+    def test_bigger_cache_more_hits(self):
+        small = WebFileSet(total_bytes=10e9, files=1000, cache_bytes=1e9)
+        big = WebFileSet(total_bytes=10e9, files=1000, cache_bytes=8e9)
+        assert big.cache_hit_fraction > small.cache_hit_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebFileSet(total_bytes=0.0, files=1)
+        with pytest.raises(ValueError):
+            WebFileSet(total_bytes=1.0, files=0)
+        with pytest.raises(ValueError):
+            WebFileSet(total_bytes=1.0, files=1, zipf_s=0.0)
+
+
+class TestWebServiceModel:
+    def test_for_fileset_picks_paper_capacities(self):
+        io_model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        cpu_model = WebServiceModel.for_fileset(SINGLE_FILE_8KB)
+        assert io_model.native_capacity == 1420.0
+        assert io_model.impact_model is WEB_DISK_IO_IMPACT
+        assert cpu_model.native_capacity == 3360.0
+        assert cpu_model.impact_model is WEB_CPU_IMPACT
+
+    def test_native_curve_shape(self):
+        model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        rates = np.linspace(50.0, 3500.0, 60)
+        replies = model.reply_rate(rates, vms=0)
+        peak_idx = int(np.argmax(replies))
+        # Rises to a peak then degrades to a stable plateau.
+        assert (np.diff(replies[: peak_idx + 1]) >= -1e-9).all()
+        assert replies[-1] < replies[peak_idx]
+        assert replies[-1] == pytest.approx(
+            model.stable_fraction * model.capacity(0), rel=1e-6
+        )
+
+    def test_linear_under_capacity(self):
+        model = WebServiceModel.for_fileset(SINGLE_FILE_8KB)
+        rates = np.array([10.0, 100.0, 1000.0])
+        np.testing.assert_allclose(model.reply_rate(rates, vms=0), rates)
+
+    def test_throughput_degrades_with_vm_count(self):
+        model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        caps = [model.capacity(v) for v in range(1, 10)]
+        assert all(a > b for a, b in zip(caps, caps[1:]))
+
+    def test_native_beats_vms_for_cpu_bound(self):
+        model = WebServiceModel.for_fileset(SINGLE_FILE_8KB)
+        assert model.capacity(0) > model.capacity(1) * 1.5
+
+    def test_measure_adds_bounded_noise(self, rng):
+        model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        rates = np.linspace(100.0, 2000.0, 20)
+        noisy = model.measure(rates, 0, rng, rel_noise=0.02)
+        clean = model.reply_rate(rates, 0)
+        assert np.abs(noisy - clean).max() / clean.max() < 0.15
+        assert (noisy >= 0).all()
+
+    def test_measured_impact_factors_match_model(self):
+        model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        a = model.measured_impact_factors([1, 5, 9])
+        expected = [WEB_DISK_IO_IMPACT.impact(v) for v in (1, 5, 9)]
+        np.testing.assert_allclose(a, expected, rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebServiceModel(fileset=SPECWEB_FILESET, native_capacity=0.0)
+        with pytest.raises(ValueError):
+            WebServiceModel(
+                fileset=SPECWEB_FILESET, native_capacity=1.0, stable_fraction=0.0
+            )
+        model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+        with pytest.raises(ValueError):
+            model.capacity(-1)
+        with pytest.raises(ValueError):
+            model.reply_rate(np.array([-5.0]))

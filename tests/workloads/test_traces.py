@@ -1,0 +1,94 @@
+"""Unit tests for the diurnal trace generators (Fig. 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    DiurnalProfile,
+    TraceBundle,
+    consolidation_headroom,
+)
+
+
+class TestDiurnalProfile:
+    def test_peak_at_peak_hour(self):
+        p = DiurnalProfile("svc", base=10.0, peak=100.0, peak_hour=14.0)
+        hours = np.linspace(0.0, 24.0, 241)
+        rates = p.rate(hours)
+        assert hours[np.argmax(rates)] == pytest.approx(14.0, abs=0.2)
+        assert rates.max() == pytest.approx(100.0, abs=1e-9)
+
+    def test_trough_at_antipode(self):
+        p = DiurnalProfile("svc", base=10.0, peak=100.0, peak_hour=14.0)
+        assert p.rate(np.array([2.0]))[0] == pytest.approx(10.0, abs=1e-9)
+
+    def test_sample_non_negative(self, rng):
+        p = DiurnalProfile("svc", base=0.0, peak=5.0, noise=2.0)
+        xs = p.sample(np.linspace(0, 24, 100), rng)
+        assert (xs >= 0.0).all()
+
+    def test_periodicity(self):
+        p = DiurnalProfile("svc", base=1.0, peak=9.0)
+        assert p.rate(np.array([3.0]))[0] == pytest.approx(p.rate(np.array([27.0]))[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile("", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile("x", 5.0, 2.0)  # peak < base
+        with pytest.raises(ValueError):
+            DiurnalProfile("x", 1.0, 2.0, peak_hour=25.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile("x", 1.0, 2.0, noise=-0.1)
+
+
+class TestTraceBundle:
+    def make(self, rng, phases=(10.0, 20.0, 3.0)):
+        profiles = [
+            DiurnalProfile(f"svc{i}", base=20.0, peak=200.0, peak_hour=h)
+            for i, h in enumerate(phases)
+        ]
+        return TraceBundle.sample(profiles, days=3.0, samples_per_hour=4, rng=rng)
+
+    def test_shapes(self, rng):
+        bundle = self.make(rng)
+        assert len(bundle.traces) == 3
+        for tr in bundle.traces.values():
+            assert tr.shape == bundle.hours.shape
+
+    def test_combined_is_sum(self, rng):
+        bundle = self.make(rng)
+        np.testing.assert_allclose(
+            bundle.combined, sum(bundle.traces.values()), rtol=1e-12
+        )
+
+    def test_peak_of_sum_below_sum_of_peaks_when_staggered(self, rng):
+        bundle = self.make(rng)
+        assert bundle.combined_peak() < sum(bundle.per_service_peaks().values())
+
+    def test_headroom_positive_when_staggered(self, rng):
+        assert consolidation_headroom(self.make(rng)) > 0.1
+
+    def test_headroom_near_zero_when_aligned(self, rng):
+        aligned = self.make(rng, phases=(12.0, 12.0, 12.0))
+        assert consolidation_headroom(aligned) < 0.08
+
+    def test_quantile_peaks(self, rng):
+        bundle = self.make(rng)
+        p100 = bundle.per_service_peaks(1.0)["svc0"]
+        p95 = bundle.per_service_peaks(0.95)["svc0"]
+        assert p95 <= p100
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TraceBundle.sample([], 1.0, 4, rng)
+        p = DiurnalProfile("x", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            TraceBundle.sample([p, p], 1.0, 4, rng)
+        with pytest.raises(ValueError):
+            TraceBundle.sample([p], 0.0, 4, rng)
+        bundle = self.make(rng)
+        with pytest.raises(ValueError):
+            bundle.per_service_peaks(0.0)
+        with pytest.raises(ValueError):
+            bundle.combined_peak(1.5)

@@ -1,0 +1,74 @@
+"""Property-based tests for the workload response-surface models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.specweb import SINGLE_FILE_8KB, SPECWEB_FILESET, WebServiceModel
+from repro.workloads.tpcw import DbServiceModel, TpcwWorkload
+
+vm_counts = st.integers(min_value=0, max_value=9)
+rates = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_counts, st.lists(rates, min_size=1, max_size=20))
+def test_web_reply_never_exceeds_requests_or_capacity(vms, rate_list):
+    model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+    r = np.asarray(rate_list)
+    replies = model.reply_rate(r, vms)
+    assert (replies <= r + 1e-9).all()
+    assert (replies <= model.capacity(vms) + 1e-9).all()
+    assert (replies >= 0.0).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_counts)
+def test_web_plateau_is_stable_fraction(vms):
+    model = WebServiceModel.for_fileset(SINGLE_FILE_8KB)
+    cap = model.capacity(vms)
+    deep_overload = np.array([cap * 3.0, cap * 10.0])
+    replies = model.reply_rate(deep_overload, vms)
+    np.testing.assert_allclose(replies, model.stable_fraction * cap, rtol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=9), st.integers(min_value=1, max_value=9))
+def test_web_capacity_monotone_decreasing_in_vms(v1, v2):
+    model = WebServiceModel.for_fileset(SPECWEB_FILESET)
+    lo, hi = sorted((v1, v2))
+    assert model.capacity(hi) <= model.capacity(lo) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(vm_counts, st.integers(min_value=0, max_value=5000))
+def test_db_wips_bounded_by_offered_and_capacity(vms, ebs):
+    model = DbServiceModel()
+    w = TpcwWorkload(ebs)
+    wips = model.wips(w, vms)
+    assert wips <= w.offered_wips + 1e-9
+    assert wips <= model.capacity(vms) + 1e-9
+    assert wips >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=9))
+def test_db_pinning_never_hurts(vms):
+    model = DbServiceModel()
+    assert model.capacity(vms, pinned=True) >= model.capacity(vms, pinned=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=9), st.integers(min_value=1, max_value=6))
+def test_db_more_vcpus_never_hurt(vms, vcpus):
+    model = DbServiceModel()
+    assert model.capacity(vms, vcpus=vcpus + 1) >= model.capacity(vms, vcpus=vcpus) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4000), min_size=2, max_size=10))
+def test_db_wips_curve_monotone_in_ebs(eb_list):
+    model = DbServiceModel()
+    ebs = np.sort(np.asarray(eb_list))
+    wips = model.wips_curve(ebs, vms=2)
+    assert (np.diff(wips) >= -1e-9).all()
