@@ -28,6 +28,7 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-vs-measured record of every table and figure.
 """
 
+from . import obs
 from .core import (
     UNLIMITED_RATE,
     ConsolidationPlanner,
@@ -55,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "obs",
     "ResourceKind",
     "ServiceSpec",
     "ModelInputs",

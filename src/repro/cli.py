@@ -23,7 +23,10 @@ JSON schema (see ``examples/deployment.json``)::
     }
 
 Flags: ``--load-model {paper,offered}`` selects the Eq. 4 reading,
-``--json`` emits machine-readable output instead of the text report.
+``--json`` emits machine-readable output instead of the text report, and
+``--metrics-out`` / ``--trace-out`` enable the observability layer
+(:mod:`repro.obs`) and export a Prometheus metric snapshot / JSONL trace
+of the planning run.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import Any, Mapping, Sequence
 
 from .core import (
     ConsolidationPlanner,
+    ConsolidationReport,
     ModelInputs,
     ResourceKind,
     ServerPowerModel,
@@ -43,6 +47,16 @@ from .core import (
     UtilityAnalyticModel,
 )
 from .core.multiqos import solve_with_targets
+from .core.power import power_comparison
+from .core.utilization import utilization_report
+from .obs import (
+    MetricsRegistry,
+    TraceLog,
+    scoped_registry,
+    scoped_trace,
+    write_prometheus,
+    write_trace_jsonl,
+)
 
 __all__ = ["main", "parse_deployment"]
 
@@ -120,6 +134,36 @@ def parse_deployment(doc: Mapping[str, Any]):
     return inputs, targets, planner
 
 
+def _build_report(
+    inputs: ModelInputs, planner: ConsolidationPlanner, load_model: str
+) -> ConsolidationReport:
+    """Solve once under ``load_model`` and assemble the full report.
+
+    Used for both Eq. 4 readings — for ``"paper"`` this produces exactly
+    what :meth:`ConsolidationPlanner.plan` would, without a second solve.
+    """
+    solution = UtilityAnalyticModel(inputs, load_model=load_model).solve()
+    util = utilization_report(solution)
+    power = power_comparison(
+        solution,
+        power_model=planner.power_model,
+        xen_idle_factor=planner.xen_idle_factor,
+        xen_workload_factor=planner.xen_workload_factor,
+        utilization=util,
+    )
+    dedicated_packing = consolidated_packing = None
+    if planner.inventory is not None:
+        dedicated_packing = planner.inventory.pack(solution.dedicated_servers)
+        consolidated_packing = planner.inventory.pack(solution.consolidated_servers)
+    return ConsolidationReport(
+        solution=solution,
+        utilization=util,
+        power=power,
+        dedicated_packing=dedicated_packing,
+        consolidated_packing=consolidated_packing,
+    )
+
+
 def _report_json(report, inputs, targets, load_model) -> dict:
     out = {
         "load_model": load_model,
@@ -162,6 +206,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="enable observability and write a Prometheus-format metric "
+        "snapshot to FILE",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable observability and write the JSONL event trace to FILE",
+    )
     args = parser.parse_args(argv)
 
     path = Path(args.deployment)
@@ -180,25 +235,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    # The planner's report uses the requested load model for sizing.
-    solution = UtilityAnalyticModel(inputs, load_model=args.load_model).solve()
-    report = planner.plan(list(inputs.services), inputs.loss_probability)
-    if args.load_model == "offered":
-        # Re-plan under the conservative sizing for the headline numbers.
-        from .core.power import power_comparison
-        from .core.utilization import utilization_report
+    observed = bool(args.metrics_out or args.trace_out)
+    registry = MetricsRegistry("repro-plan") if observed else None
+    trace = TraceLog() if observed else None
 
-        util = utilization_report(solution)
-        power = power_comparison(
-            solution,
-            power_model=planner.power_model,
-            xen_idle_factor=planner.xen_idle_factor,
-            xen_workload_factor=planner.xen_workload_factor,
-            utilization=util,
-        )
-        from .core.consolidation import ConsolidationReport
+    # One solve, under the requested Eq. 4 reading, for the whole report.
+    if observed:
+        with scoped_registry(registry), scoped_trace(trace):
+            with trace.span("plan", deployment=str(path), load_model=args.load_model):
+                report = _build_report(inputs, planner, args.load_model)
+    else:
+        report = _build_report(inputs, planner, args.load_model)
 
-        report = ConsolidationReport(solution=solution, utilization=util, power=power)
+    if observed:
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+        if args.trace_out:
+            write_trace_jsonl(trace, args.trace_out)
 
     if args.json:
         print(json.dumps(_report_json(report, inputs, targets, args.load_model), indent=2))

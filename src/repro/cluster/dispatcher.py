@@ -9,6 +9,12 @@ loss-probability consequences of the choice.
 Dispatchers are deliberately oblivious to service time — they see only the
 backend set and (for least-connections) the in-flight counts supplied by
 the caller, mirroring what a real L4 balancer can observe.
+
+Observability: with a real metrics registry installed at construction time
+(see :mod:`repro.obs`) every dispatcher exports per-backend pick counters
+and a live imbalance gauge (max picks over mean picks — 1.0 is a perfectly
+even spread).  With the default null registry the per-pick cost is one
+cached boolean check.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ import abc
 from typing import Mapping, Sequence
 
 import numpy as np
+
+from ..obs import get_registry, get_trace
 
 __all__ = [
     "Dispatcher",
@@ -35,6 +43,35 @@ class Dispatcher(abc.ABC):
         if backends < 1:
             raise ValueError(f"need at least one backend, got {backends}")
         self.backends = backends
+        registry = get_registry()
+        self._instrumented = registry.enabled
+        if self._instrumented:
+            policy = type(self).__name__
+            self._pick_counts = [0] * backends
+            self._pick_counters = [
+                registry.counter(
+                    "dispatcher_picks_total",
+                    help="requests routed per backend",
+                    labels={"policy": policy, "backend": str(i)},
+                )
+                for i in range(backends)
+            ]
+            self._imbalance = registry.gauge(
+                "dispatcher_imbalance_ratio",
+                help="max per-backend picks over mean picks (1.0 = even)",
+                labels={"policy": policy},
+            )
+
+    def _record(self, chosen: int) -> int:
+        """Account the pick; concrete ``pick`` implementations route
+        their return value through this."""
+        if self._instrumented:
+            counts = self._pick_counts
+            counts[chosen] += 1
+            self._pick_counters[chosen].inc()
+            total = sum(counts)
+            self._imbalance.set(max(counts) * len(counts) / total)
+        return chosen
 
     @abc.abstractmethod
     def pick(self, in_flight: Sequence[int] | None = None) -> int:
@@ -62,7 +99,7 @@ class RoundRobinDispatcher(Dispatcher):
         self._check_in_flight(in_flight)
         chosen = self._next
         self._next = (self._next + 1) % self.backends
-        return chosen
+        return self._record(chosen)
 
 
 class WeightedRoundRobinDispatcher(Dispatcher):
@@ -87,19 +124,35 @@ class WeightedRoundRobinDispatcher(Dispatcher):
             self._credits[i] += w
         chosen = max(range(self.backends), key=lambda i: self._credits[i])
         self._credits[chosen] -= self._total
-        return chosen
+        return self._record(chosen)
 
 
 class RandomDispatcher(Dispatcher):
-    """Uniform random backend choice."""
+    """Uniform random backend choice.
+
+    Callers inside ``repro.simulation`` must pass an explicit seeded
+    ``rng`` — the engine's reproducibility guarantee (same seed, same run)
+    is silently void otherwise.  Constructing the unseeded fallback emits a
+    ``dispatcher.unseeded_rng`` warning on the active trace log so the
+    breach shows up in exported traces.
+    """
 
     def __init__(self, backends: int, rng: np.random.Generator | None = None):
         super().__init__(backends)
-        self.rng = rng or np.random.default_rng()
+        if rng is None:
+            get_trace().warning(
+                "dispatcher.unseeded_rng",
+                policy="random",
+                backends=backends,
+                message="RandomDispatcher built without an explicit rng; "
+                "runs are not reproducible",
+            )
+            rng = np.random.default_rng()
+        self.rng = rng
 
     def pick(self, in_flight: Sequence[int] | None = None) -> int:
         self._check_in_flight(in_flight)
-        return int(self.rng.integers(0, self.backends))
+        return self._record(int(self.rng.integers(0, self.backends)))
 
 
 class LeastConnectionsDispatcher(Dispatcher):
@@ -120,7 +173,7 @@ class LeastConnectionsDispatcher(Dispatcher):
         candidates = [i for i, c in enumerate(in_flight) if c == best]
         chosen = candidates[self._tiebreak % len(candidates)]
         self._tiebreak += 1
-        return chosen
+        return self._record(chosen)
 
 
 def make_dispatcher(

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..obs import get_registry
 from ..queueing.erlang import erlang_b, min_servers
 from .inputs import ModelInputs, ResourceKind, ServiceSpec
 
@@ -214,16 +215,34 @@ class UtilityAnalyticModel:
     # -- full solve ----------------------------------------------------------
 
     def solve(self) -> ConsolidationSolution:
-        """Run the complete Fig. 4 algorithm."""
-        dedicated = tuple(
-            self.size_dedicated_service(s) for s in self.inputs.services
-        )
-        return ConsolidationSolution(
-            inputs=self.inputs,
-            dedicated=dedicated,
-            consolidated_load=self.consolidated_loads(),
-            consolidated_per_resource_servers=self.size_consolidated(),
-        )
+        """Run the complete Fig. 4 algorithm.
+
+        With observability enabled (:mod:`repro.obs`) each solve is timed
+        (``model_solve_seconds``) and counted (``model_solves_total``) per
+        load model.
+        """
+        registry = get_registry()
+        with registry.timer(
+            "model_solve_seconds",
+            help="full Fig. 4 algorithm runs",
+            labels={"load_model": self.load_model},
+        ):
+            dedicated = tuple(
+                self.size_dedicated_service(s) for s in self.inputs.services
+            )
+            solution = ConsolidationSolution(
+                inputs=self.inputs,
+                dedicated=dedicated,
+                consolidated_load=self.consolidated_loads(),
+                consolidated_per_resource_servers=self.size_consolidated(),
+            )
+        if registry.enabled:
+            registry.counter(
+                "model_solves_total",
+                help="utility analytic model solves",
+                labels={"load_model": self.load_model},
+            ).inc()
+        return solution
 
     # -- inverse queries ------------------------------------------------------
 

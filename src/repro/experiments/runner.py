@@ -3,13 +3,34 @@
 ``python -m repro.experiments`` (or the ``repro-experiments`` console
 script) runs any subset of the paper reproductions and prints their tables
 and series.  ``--full`` switches to publication-grade horizons.
+
+Observability: ``--metrics-out`` and ``--trace-out`` enable the
+instrumentation layer (:mod:`repro.obs`) and export a Prometheus-format
+metric snapshot / a JSONL event trace after the run.  Every observed run
+also writes a deterministic run manifest (canonical inputs hash, seed,
+model version, wall time, metric snapshot) next to the results: in
+``--output`` when given, else beside the metric/trace files, else under
+``results/`` for ``--full`` runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+from time import perf_counter
 from typing import Sequence
+
+from ..obs import (
+    MetricsRegistry,
+    TraceLog,
+    build_manifest,
+    scoped_registry,
+    scoped_trace,
+    write_manifest,
+    write_prometheus,
+    write_trace_jsonl,
+)
 
 # Importing the experiment modules populates the registry.
 from . import (  # noqa: F401  (imported for registration side effects)
@@ -41,6 +62,19 @@ def run_all(seed: int = 2009, fast: bool = True) -> dict[str, object]:
     }
 
 
+def _manifest_dir(args) -> Path | None:
+    """Where the run manifest lands (None = observability off, no manifest)."""
+    if args.output:
+        return Path(args.output)
+    if args.metrics_out:
+        return Path(args.metrics_out).parent
+    if args.trace_out:
+        return Path(args.trace_out).parent
+    if args.full:
+        return Path("results")
+    return None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -56,12 +90,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--full",
         action="store_true",
-        help="publication-grade horizons (slower, tighter statistics)",
+        help="publication-grade horizons (slower, tighter statistics); "
+        "also writes a run manifest under results/",
     )
     parser.add_argument(
         "--output",
         metavar="DIR",
         help="also export each artifact's data as DIR/<id>.csv and .json",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="enable observability and write a Prometheus-format metric "
+        "snapshot to FILE after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable observability and write the JSONL event trace "
+        "(one span per experiment) to FILE after the run",
     )
     args = parser.parse_args(argv)
 
@@ -71,17 +118,57 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     names = args.experiments or sorted(all_experiments())
-    for name in names:
-        fn = get_experiment(name)
-        result = fn(seed=args.seed, fast=not args.full)
-        print("=" * 72)
-        print(f"[{result.experiment}] {result.title}")
-        print("=" * 72)
-        print(result.text)
-        if args.output:
-            csv_path, json_path = result.export(args.output)
-            print(f"\n  exported: {csv_path}  {json_path}")
-        print()
+    manifest_dir = _manifest_dir(args)
+    observed = manifest_dir is not None
+
+    registry = MetricsRegistry("experiments") if observed else None
+    trace = TraceLog() if observed else None
+
+    def run() -> None:
+        for name in names:
+            fn = get_experiment(name)
+            if trace is not None:
+                with trace.span("experiment", experiment=name) as span_fields:
+                    result = fn(seed=args.seed, fast=not args.full)
+                    span_fields["rows"] = len(result.rows)
+            else:
+                result = fn(seed=args.seed, fast=not args.full)
+            print("=" * 72)
+            print(f"[{result.experiment}] {result.title}")
+            print("=" * 72)
+            print(result.text)
+            if args.output:
+                csv_path, json_path = result.export(args.output)
+                print(f"\n  exported: {csv_path}  {json_path}")
+            print()
+
+    t0 = perf_counter()
+    if observed:
+        with scoped_registry(registry), scoped_trace(trace):
+            run()
+    else:
+        run()
+    wall_time = perf_counter() - t0
+
+    if observed:
+        if args.metrics_out:
+            write_prometheus(registry, args.metrics_out)
+        if args.trace_out:
+            write_trace_jsonl(trace, args.trace_out)
+        manifest = build_manifest(
+            {
+                "tool": "repro-experiments",
+                "experiments": list(names),
+                "seed": args.seed,
+                "full": bool(args.full),
+            },
+            seed=args.seed,
+            wall_time_s=wall_time,
+            registry=registry,
+            trace=trace,
+        )
+        manifest_path = write_manifest(manifest, Path(manifest_dir) / "run_manifest.json")
+        print(f"run manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 

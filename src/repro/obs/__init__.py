@@ -1,0 +1,75 @@
+"""Observability layer: metrics, traces, and run manifests.
+
+Dependency-free instrumentation for the whole stack — the discrete-event
+engine, the Erlang solvers, the dispatchers, and the experiment runner all
+carry hooks into this package.  The default state is **off**: the global
+registry and trace log are no-op singletons, and instrumented hot loops
+pay at most a cached boolean check per event (guarded by
+``benchmarks/bench_obs_overhead.py``).
+
+Typical usage::
+
+    from repro import obs
+
+    with obs.scoped_registry() as registry, obs.scoped_trace() as trace:
+        with trace.span("solve", service="web"):
+            ...  # instrumented code records into `registry` / `trace`
+        print(obs.prometheus_text(registry))
+
+The experiment runner (``repro-experiments --metrics-out --trace-out``)
+and the planner CLI (``repro-plan``) wire this up from the command line.
+"""
+
+from .export import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    inputs_hash,
+    prometheus_text,
+    write_manifest,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from .trace import (
+    NullTraceLog,
+    TraceEvent,
+    TraceLog,
+    get_trace,
+    scoped_trace,
+    set_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+    "TraceEvent",
+    "TraceLog",
+    "NullTraceLog",
+    "get_trace",
+    "set_trace",
+    "scoped_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "write_trace_jsonl",
+    "inputs_hash",
+    "build_manifest",
+    "write_manifest",
+    "MANIFEST_SCHEMA",
+]

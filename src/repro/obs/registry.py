@@ -1,0 +1,427 @@
+"""Dependency-free metrics registry.
+
+The observability layer's core contract is *zero cost when disabled*: the
+process-global default registry is a :class:`NullRegistry` whose instrument
+factories return shared no-op singletons, so instrumented hot loops (the
+DES engine, the Erlang inversion) pay at most one boolean check per event.
+Enabling observability means installing a real :class:`MetricsRegistry`
+(via :func:`set_registry` or, for tests, the :func:`scoped_registry`
+context manager) *before* the instrumented objects are constructed — they
+capture their instruments at construction time.
+
+Instruments follow the Prometheus vocabulary:
+
+- :class:`Counter` — monotonically increasing total;
+- :class:`Gauge` — instantaneous value that can go up and down;
+- :class:`Histogram` — fixed log-spaced buckets (geometric bounds decided
+  at construction), cumulative on export;
+- :class:`Timer` — a histogram of seconds with a context-manager front end.
+
+Instruments may carry labels (``registry.counter("picks_total",
+labels={"backend": "2"})``); instruments of the same name form a family and
+export together.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+]
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Instantaneous value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+def log_bucket_bounds(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """Geometric upper bounds ``start * factor**i`` for ``i in [0, count)``."""
+    if start <= 0.0:
+        raise ValueError(f"bucket start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ValueError(f"bucket factor must exceed 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"need at least one bucket, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+class Histogram:
+    """Fixed log-bucket histogram (no per-observation allocation)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        start: float = 1e-6,
+        factor: float = 4.0,
+        buckets: int = 16,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = log_bucket_bounds(start, factor, buckets)
+        self._counts = [0] * (len(self.bounds) + 1)  # last bucket = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self._counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + self._counts[-1]))
+        return out
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(perf_counter() - self._t0)
+
+
+class Timer:
+    """Histogram of elapsed seconds with a ``with`` front end.
+
+    ``with registry.timer("solve_seconds"):`` or the explicit
+    ``with registry.timer(...).time():`` both record one observation.
+    """
+
+    kind = "timer"
+    __slots__ = ("name", "labels", "histogram", "_starts")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.histogram = Histogram(name, labels, start=1e-6, factor=4.0, buckets=16)
+        self._starts: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def time(self) -> _TimerContext:
+        return _TimerContext(self)
+
+    def __enter__(self) -> "Timer":
+        self._starts.append(perf_counter())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.observe(perf_counter() - self._starts.pop())
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_seconds(self) -> float:
+        return self.histogram.sum
+
+    def snapshot(self) -> dict[str, float]:
+        return self.histogram.snapshot()
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store.
+
+    Thread-safe for instrument *creation*; individual updates are plain
+    Python arithmetic (atomic enough under the GIL for telemetry use).
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        # family name -> (kind, help, {labelset: instrument})
+        self._families: dict[str, tuple[str, str, dict[LabelSet, object]]] = {}
+
+    def _get(self, cls, name: str, help: str, labels: Mapping[str, str] | None, **kwargs):
+        key = _labelset(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (cls.kind, help, {})
+                self._families[name] = family
+            kind, _, instruments = family
+            if kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}, not {cls.kind}"
+                )
+            instrument = instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key, **kwargs)
+                instruments[key] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        start: float = 1e-6,
+        factor: float = 4.0,
+        buckets: int = 16,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, help, labels, start=start, factor=factor, buckets=buckets
+        )
+
+    def timer(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Timer:
+        return self._get(Timer, name, help, labels)
+
+    def families(self) -> Iterator[tuple[str, str, str, Sequence[object]]]:
+        """Yield ``(name, kind, help, instruments)`` sorted by name."""
+        with self._lock:
+            items = sorted(self._families.items())
+        for name, (kind, help, instruments) in items:
+            yield name, kind, help, list(instruments.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable state of every instrument (for run manifests)."""
+        out: dict[str, object] = {}
+        for name, kind, _help, instruments in self.families():
+            entries = []
+            for inst in instruments:
+                entries.append(
+                    {
+                        "labels": dict(inst.labels),
+                        "value": inst.snapshot(),
+                    }
+                )
+            out[name] = {"kind": kind, "series": entries}
+        return out
+
+
+class _NullInstrument:
+    """Accepts the full instrument API and does nothing."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelSet = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: every factory returns the shared no-op instrument."""
+
+    enabled = False
+    name = "null"
+
+    def counter(self, name: str, help: str = "", labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", labels=None, **kwargs) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str, help: str = "", labels=None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def families(self):
+        return iter(())
+
+    def snapshot(self) -> dict[str, object]:
+        return {}
+
+
+_NULL_REGISTRY = NullRegistry()
+_default: MetricsRegistry | NullRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-global registry (the no-op one unless observability is on)."""
+    return _default
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry | None,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` globally (``None`` -> the null registry).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _default
+    previous = _default
+    _default = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Install a fresh (or given) registry for the duration of the block.
+
+    The test-isolation primitive: metrics recorded inside the block are
+    invisible outside it, and the previous global registry is restored even
+    on error.
+    """
+    reg = registry if registry is not None else MetricsRegistry("scoped")
+    previous = set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(previous)

@@ -19,9 +19,12 @@ continuous extension in ``n`` via the regularised incomplete gamma function
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 import numpy as np
 from scipy import special
+
+from ..obs import get_registry
 
 __all__ = [
     "offered_load",
@@ -166,6 +169,10 @@ def min_servers(rho: float, blocking_target: float) -> int:
     recurrence, incrementing ``n`` until the target is first met.  The
     recurrence makes the scan ``O(n_final)`` overall since each step reuses
     the previous blocking value.
+
+    When observability is enabled (:mod:`repro.obs`) each call records the
+    iteration count and elapsed time under the ``erlang_inversion_*``
+    metrics with ``method="recurrence"``.
     """
     if not 0.0 < blocking_target < 1.0:
         raise ValueError(f"blocking target must lie in (0, 1), got {blocking_target}")
@@ -173,6 +180,8 @@ def min_servers(rho: float, blocking_target: float) -> int:
         raise ValueError(f"offered load must be non-negative, got {rho}")
     if rho == 0.0:
         return 0
+    registry = get_registry()
+    t0 = perf_counter() if registry.enabled else 0.0
     b = 1.0  # E_0(rho) = 1 for rho > 0
     n = 0
     while b > blocking_target:
@@ -183,7 +192,29 @@ def min_servers(rho: float, blocking_target: float) -> int:
                 f"min_servers did not converge below {blocking_target} "
                 f"within {_MAX_SERVERS} servers (rho={rho})"
             )
+    if registry.enabled:
+        _record_inversion(registry, "recurrence", n, perf_counter() - t0)
     return n
+
+
+def _record_inversion(registry, method: str, iterations: int, elapsed: float) -> None:
+    """Account one Erlang inversion on an enabled registry."""
+    labels = {"method": method}
+    registry.counter(
+        "erlang_inversion_calls_total",
+        help="Erlang-B inversions solved",
+        labels=labels,
+    ).inc()
+    registry.counter(
+        "erlang_inversion_iterations_total",
+        help="recurrence steps / bisection evaluations spent inverting",
+        labels=labels,
+    ).inc(iterations)
+    registry.timer(
+        "erlang_inversion_seconds",
+        help="wall time per Erlang-B inversion",
+        labels=labels,
+    ).observe(elapsed)
 
 
 def min_servers_continuous(rho: float, blocking_target: float) -> int:
@@ -191,6 +222,8 @@ def min_servers_continuous(rho: float, blocking_target: float) -> int:
 
     Produces the same integer answer as :func:`min_servers` but in
     ``O(log n)`` Erlang evaluations; preferred when ``rho`` is huge.
+    Records ``erlang_inversion_*`` metrics with ``method="bisection"``
+    when observability is enabled.
     """
     if not 0.0 < blocking_target < 1.0:
         raise ValueError(f"blocking target must lie in (0, 1), got {blocking_target}")
@@ -198,15 +231,20 @@ def min_servers_continuous(rho: float, blocking_target: float) -> int:
         raise ValueError(f"offered load must be non-negative, got {rho}")
     if rho == 0.0:
         return 0
+    registry = get_registry()
+    t0 = perf_counter() if registry.enabled else 0.0
+    evaluations = 0
     # Bracket: blocking at n=0 is 1; grow hi geometrically until below target.
     hi = max(1, int(rho))
     while erlang_b_continuous(hi, rho) > blocking_target:
+        evaluations += 1
         hi *= 2
         if hi > _MAX_SERVERS:  # pragma: no cover - defensive
             raise RuntimeError("min_servers_continuous failed to bracket")
     lo = 0
     while hi - lo > 1:
         mid = (lo + hi) // 2
+        evaluations += 1
         if erlang_b_continuous(mid, rho) > blocking_target:
             lo = mid
         else:
@@ -214,9 +252,13 @@ def min_servers_continuous(rho: float, blocking_target: float) -> int:
     # The continuous extension agrees with the discrete formula at integers,
     # but guard against floating-point skew at the boundary.
     while hi > 0 and erlang_b(hi - 1, rho) <= blocking_target:
+        evaluations += 1
         hi -= 1
     while erlang_b(hi, rho) > blocking_target:
+        evaluations += 1
         hi += 1
+    if registry.enabled:
+        _record_inversion(registry, "bisection", evaluations, perf_counter() - t0)
     return hi
 
 

@@ -6,6 +6,15 @@ each an opaque callback.  Determinism is guaranteed by a monotonically
 increasing sequence number breaking time ties in insertion order, so runs
 with a fixed RNG seed are exactly reproducible — a property the statistical
 validation tests rely on.
+
+Observability: when a real metrics registry is installed (see
+:mod:`repro.obs`) *before* the simulator is constructed, the engine reports
+events executed, cancelled-event skips, live heap depth, and virtual-time
+progress.  The instrumented step is bound at construction, so with the
+default null registry the hot loop runs the bare path — its only additions
+over an uninstrumented engine are the live-event bookkeeping that keeps
+:attr:`Simulator.pending` O(1) (guarded by
+``benchmarks/bench_obs_overhead.py``).
 """
 
 from __future__ import annotations
@@ -15,10 +24,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import get_registry
+
 __all__ = ["Simulator", "ScheduledEvent"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class ScheduledEvent:
     """Heap entry: ordered by (time, sequence)."""
 
@@ -26,10 +37,17 @@ class ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning simulator while the event is queued; cleared when it executes,
+    # so a late cancel() of an already-fired event stays a harmless flag.
+    sim: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._dead += 1
 
 
 class Simulator:
@@ -40,6 +58,25 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        # Cancelled events still sitting in the heap; pending is then the
+        # O(1) difference len(heap) - dead instead of an O(n) scan.
+        self._dead = 0
+        registry = get_registry()
+        if registry.enabled:
+            self._c_executed = registry.counter(
+                "sim_events_executed_total", help="events popped and run"
+            )
+            self._c_skipped = registry.counter(
+                "sim_events_skipped_total", help="cancelled events discarded on pop"
+            )
+            self._g_pending = registry.gauge(
+                "sim_pending_events", help="live (uncancelled) events queued"
+            )
+            self._g_now = registry.gauge(
+                "sim_virtual_time", help="current virtual time of the simulator"
+            )
+            # Shadow the class method so the disabled path never branches.
+            self.step = self._step_instrumented  # type: ignore[method-assign]
 
     @property
     def now(self) -> float:
@@ -52,7 +89,9 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past: {time} < now={self._now}"
             )
-        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        event = ScheduledEvent(
+            time=time, seq=next(self._seq), callback=callback, sim=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -67,8 +106,27 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead -= 1
                 continue
+            event.sim = None
             self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def _step_instrumented(self) -> bool:
+        """Step variant installed when a real registry is active."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                self._dead -= 1
+                self._c_skipped.inc()
+                continue
+            event.sim = None
+            self._now = event.time
+            self._c_executed.inc()
+            self._g_pending.set(len(self._heap) - self._dead)
+            self._g_now.set(self._now)
             event.callback()
             return True
         return False
@@ -83,11 +141,12 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
+        step = self.step
         try:
             while self._heap:
                 if until is not None and self._heap[0].time > until:
                     break
-                self.step()
+                step()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -95,5 +154,6 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live events still queued (O(1): cancellations are
+        counted as they happen instead of scanning the heap)."""
+        return len(self._heap) - self._dead

@@ -158,4 +158,13 @@ class LossCounter:
         denom = 1.0 + z2 / n
         centre = (p + z2 / (2.0 * n)) / denom
         half = z * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
-        return (max(0.0, centre - half), min(1.0, centre + half))
+        lo = max(0.0, centre - half)
+        hi = min(1.0, centre + half)
+        # At the boundaries the Wilson bound equals the boundary exactly
+        # (centre ± half telescopes to 0 or 1); pin it there so floating-
+        # point round-off cannot report an interval excluding the estimate.
+        if self.blocked == 0:
+            lo = 0.0
+        if self.blocked == n:
+            hi = 1.0
+        return (lo, hi)

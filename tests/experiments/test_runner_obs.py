@@ -1,0 +1,75 @@
+"""The experiment runner's observability flags export valid artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.obs import MANIFEST_SCHEMA, get_registry, get_trace, inputs_hash
+
+
+@pytest.fixture
+def run_table1(tmp_path, capsys):
+    def run(*extra_args):
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["table1", "--metrics-out", str(metrics), "--trace-out", str(trace)]
+            + list(extra_args)
+        )
+        capsys.readouterr()
+        assert code == 0
+        return metrics, trace, tmp_path / "run_manifest.json"
+
+    return run
+
+
+class TestObservedRun:
+    def test_writes_prometheus_snapshot(self, run_table1):
+        metrics, _, _ = run_table1()
+        text = metrics.read_text()
+        assert "# TYPE erlang_inversion_calls_total counter" in text
+        assert "# TYPE model_solve_seconds histogram" in text
+        assert 'model_solves_total{load_model="paper"}' in text
+
+    def test_trace_has_span_per_experiment(self, run_table1):
+        _, trace, _ = run_table1()
+        docs = [json.loads(line) for line in trace.read_text().strip().splitlines()]
+        begins = [d for d in docs if d["kind"] == "span_begin"]
+        ends = [d for d in docs if d["kind"] == "span_end"]
+        assert {d["experiment"] for d in begins} == {"table1"}
+        assert len(begins) == len(ends) == 1
+        assert ends[0]["duration_s"] > 0.0
+        assert ends[0]["rows"] > 0
+
+    def test_manifest_written_next_to_outputs(self, run_table1):
+        _, _, manifest_path = run_table1()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["inputs"]["experiments"] == ["table1"]
+        assert manifest["inputs_hash"] == inputs_hash(manifest["inputs"])
+        assert manifest["seed"] == 2009
+        assert manifest["wall_time_s"] > 0.0
+        assert "erlang_inversion_calls_total" in manifest["metrics"]
+        assert manifest["trace"]["events"] >= 2
+
+    def test_manifest_prefers_output_dir(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["table1", "--seed", "3", "--output", str(out)]) == 0
+        capsys.readouterr()
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert manifest["seed"] == 3
+        assert (out / "table1.csv").exists()
+
+    def test_globals_restored_after_run(self, run_table1):
+        run_table1()
+        assert not get_registry().enabled
+        assert not get_trace().enabled
+
+
+class TestUnobservedRun:
+    def test_plain_run_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,110 @@
+"""Tests for the Prometheus exporter and the run manifest."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    MetricsRegistry,
+    TraceLog,
+    build_manifest,
+    inputs_hash,
+    prometheus_text,
+    write_manifest,
+    write_prometheus,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", help="seen requests").inc(12)
+    reg.counter("picks_total", labels={"backend": "0"}).inc(3)
+    reg.counter("picks_total", labels={"backend": "1"}).inc(4)
+    reg.gauge("depth").set(2.5)
+    h = reg.histogram("latency", start=0.001, factor=10.0, buckets=3)
+    h.observe(0.0005)
+    h.observe(0.5)
+    reg.timer("solve_seconds").observe(0.002)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(_populated_registry())
+        assert "# HELP requests_total seen requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 12" in text
+        assert 'picks_total{backend="0"} 3' in text
+        assert 'picks_total{backend="1"} 4' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.5" in text
+
+    def test_histogram_rendering(self):
+        text = prometheus_text(_populated_registry())
+        assert 'latency_bucket{le="0.001"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 2' in text
+        assert "latency_sum 0.5005" in text
+        assert "latency_count 2" in text
+
+    def test_timer_renders_as_histogram(self):
+        text = prometheus_text(_populated_registry())
+        assert "# TYPE solve_seconds histogram" in text
+        assert "solve_seconds_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus_creates_parents(self, tmp_path):
+        path = write_prometheus(_populated_registry(), tmp_path / "a" / "m.prom")
+        assert path.exists()
+        assert "requests_total 12" in path.read_text()
+
+
+class TestInputsHash:
+    def test_stable_across_key_order(self):
+        assert inputs_hash({"a": 1, "b": [2, 3]}) == inputs_hash({"b": [2, 3], "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert inputs_hash({"a": 1}) != inputs_hash({"a": 2})
+
+    def test_known_shape(self):
+        digest = inputs_hash({})
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+
+class TestManifest:
+    def test_fields(self):
+        reg = _populated_registry()
+        trace = TraceLog()
+        trace.emit("e")
+        manifest = build_manifest(
+            {"experiments": ["table1"], "seed": 7},
+            seed=7,
+            wall_time_s=1.25,
+            registry=reg,
+            trace=trace,
+            extra={"note": "test"},
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["model_version"] == __version__
+        assert manifest["seed"] == 7
+        assert manifest["inputs_hash"] == inputs_hash({"experiments": ["table1"], "seed": 7})
+        assert manifest["wall_time_s"] == 1.25
+        assert manifest["metrics"]["requests_total"]["series"][0]["value"] == 12.0
+        assert manifest["trace"] == {"events": 1, "emitted": 1, "dropped": 0}
+        assert manifest["note"] == "test"
+
+    def test_same_inputs_same_hash(self):
+        a = build_manifest({"x": 1}, seed=1)
+        b = build_manifest({"x": 1}, seed=99)
+        assert a["inputs_hash"] == b["inputs_hash"]
+
+    def test_write_manifest_is_valid_json(self, tmp_path):
+        manifest = build_manifest({"x": 1}, seed=1)
+        path = write_manifest(manifest, tmp_path / "out" / "run_manifest.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["inputs_hash"] == manifest["inputs_hash"]
+        assert loaded["schema"] == MANIFEST_SCHEMA

@@ -1,0 +1,156 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from repro.obs.registry import Histogram, log_bucket_bounds
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_decrease_rejected(self):
+        c = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(3.0)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_log_bucket_bounds(self):
+        assert log_bucket_bounds(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            log_bucket_bounds(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            log_bucket_bounds(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            log_bucket_bounds(1.0, 2.0, 0)
+
+    def test_observations_land_in_buckets(self):
+        h = Histogram("lat", start=1.0, factor=2.0, buckets=3)  # bounds 1,2,4
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        cumulative = h.bucket_counts()
+        assert cumulative[0] == (1.0, 1)   # 0.5
+        assert cumulative[1] == (2.0, 2)   # +1.5
+        assert cumulative[2] == (4.0, 3)   # +3.0
+        assert cumulative[3] == (math.inf, 4)  # +100
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.minimum == 0.5
+        assert h.maximum == 100.0
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        h = Histogram("lat", start=1.0, factor=2.0, buckets=3)
+        h.observe(2.0)  # le="2" bucket, Prometheus-style inclusive upper bound
+        assert h.bucket_counts()[1] == (2.0, 1)
+
+
+class TestTimer:
+    def test_records_elapsed_seconds(self):
+        reg = MetricsRegistry()
+        t = reg.timer("solve_seconds")
+        with t:
+            pass
+        with t.time():
+            pass
+        assert t.count == 2
+        assert t.total_seconds >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", labels={"x": "1"}) is reg.counter("a", labels={"x": "1"})
+        assert reg.counter("a") is not reg.counter("a", labels={"x": "1"})
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", labels={"x": "1", "y": "2"}) is reg.counter(
+            "a", labels={"y": "2", "x": "1"}
+        )
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"k": "v"}).inc(2)
+        reg.gauge("g").set(7.0)
+        reg.timer("t").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["series"][0] == {"labels": {"k": "v"}, "value": 2.0}
+        assert snap["g"]["series"][0]["value"] == 7.0
+        assert snap["t"]["series"][0]["value"]["count"] == 1
+
+
+class TestGlobalRegistry:
+    def test_default_is_disabled(self):
+        reg = get_registry()
+        assert isinstance(reg, NullRegistry)
+        assert not reg.enabled
+        # The null instruments swallow the full API.
+        reg.counter("x").inc()
+        reg.gauge("x").set(3)
+        reg.histogram("x").observe(1.0)
+        with reg.timer("x"):
+            pass
+        assert reg.snapshot() == {}
+
+    def test_scoped_registry_installs_and_restores(self):
+        before = get_registry()
+        with scoped_registry() as reg:
+            assert get_registry() is reg
+            assert reg.enabled
+            reg.counter("seen_total").inc()
+            assert reg.snapshot()["seen_total"]["series"][0]["value"] == 1.0
+        assert get_registry() is before
+
+    def test_scoped_registry_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_none_installs_null(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+            set_registry(None)
+            assert not get_registry().enabled
+        finally:
+            set_registry(previous)
+
+    def test_nested_scopes_isolate(self):
+        with scoped_registry() as outer:
+            outer.counter("c").inc()
+            with scoped_registry() as inner:
+                assert inner.counter("c").value == 0.0
+            assert get_registry() is outer

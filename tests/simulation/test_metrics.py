@@ -108,3 +108,68 @@ class TestLossCounter:
         w_small = np.diff(small.loss_confidence_interval())[0]
         w_large = np.diff(large.loss_confidence_interval())[0]
         assert w_large < w_small
+
+
+class TestAccumulatorEdgeCases:
+    """Boundary behaviour the exporters rely on (see repro.obs)."""
+
+    def test_loss_counter_interval_at_zero_losses(self):
+        c = LossCounter()
+        for _ in range(500):
+            c.record(True)
+        assert c.loss_probability == 0.0
+        lo, hi = c.loss_confidence_interval()
+        # Wilson at p=0: the lower bound collapses to 0 but the upper bound
+        # stays strictly positive — zero observed losses never certify zero risk.
+        assert lo == 0.0
+        assert 0.0 < hi < 0.05
+
+    def test_loss_counter_interval_at_total_loss(self):
+        c = LossCounter()
+        for _ in range(500):
+            c.record(False)
+        assert c.loss_probability == 1.0
+        lo, hi = c.loss_confidence_interval()
+        assert hi == 1.0
+        assert 0.95 < lo < 1.0
+
+    def test_loss_counter_interval_single_observation(self):
+        c = LossCounter()
+        c.record(False)
+        lo, hi = c.loss_confidence_interval()
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_time_weighted_zero_duration_window_adds_no_area(self):
+        tw = TimeWeightedStat(0.0, start_time=0.0)
+        tw.update(10.0, 5.0)
+        tw.update(10.0, 50.0)  # zero-duration window: 5.0 held for 0 time
+        tw.update(20.0, 0.0)
+        # Average over [0, 20]: 0 for 10s, then 50 for 10s.
+        assert tw.time_average(20.0) == pytest.approx(25.0)
+        assert tw.maximum == 50.0
+
+    def test_time_weighted_all_updates_at_start_instant(self):
+        tw = TimeWeightedStat(1.0, start_time=5.0)
+        tw.update(5.0, 2.0)
+        tw.update(5.0, 3.0)
+        # No time has passed: the average degenerates to the current value.
+        assert tw.time_average() == 3.0
+        assert tw.current == 3.0
+
+    def test_time_weighted_finalize_on_zero_duration_run(self):
+        tw = TimeWeightedStat(4.0, start_time=2.0)
+        tw.finalize(2.0)
+        assert tw.time_average() == 4.0
+
+    def test_running_stats_min_max_single_observation(self):
+        stats = RunningStats()
+        stats.add(-7.5)
+        assert stats.minimum == -7.5
+        assert stats.maximum == -7.5
+        assert stats.minimum == stats.maximum == stats.mean
+
+    def test_running_stats_min_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().minimum
+        with pytest.raises(ValueError):
+            RunningStats().maximum

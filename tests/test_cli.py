@@ -108,3 +108,50 @@ class TestMain:
 
     def test_example_file_is_valid(self, capsys):
         assert main(["examples/deployment.json"]) == 0
+
+
+class TestObservability:
+    def test_metrics_and_trace_exports(self, tmp_path, capsys):
+        metrics = tmp_path / "plan.prom"
+        trace = tmp_path / "plan.jsonl"
+        code = main(
+            [
+                write(tmp_path, VALID_DOC),
+                "--json",
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        # The report itself is unchanged by observability.
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dedicated_servers"] == 8
+        text = metrics.read_text()
+        assert "erlang_inversion_calls_total" in text
+        assert 'model_solves_total{load_model="paper"}' in text
+        lines = [json.loads(l) for l in trace.read_text().strip().splitlines()]
+        assert [l["kind"] for l in lines] == ["span_begin", "span_end"]
+        assert lines[0]["name"] == "plan"
+        assert lines[1]["load_model"] == "paper"
+
+    def test_offered_mode_metrics_label(self, tmp_path, capsys):
+        metrics = tmp_path / "plan.prom"
+        code = main(
+            [
+                write(tmp_path, VALID_DOC),
+                "--load-model",
+                "offered",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert 'model_solves_total{load_model="offered"} 1' in metrics.read_text()
+
+    def test_no_flags_no_files(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC)]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "plan.prom").exists()
