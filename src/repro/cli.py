@@ -26,7 +26,8 @@ Flags: ``--load-model {paper,offered}`` selects the Eq. 4 reading,
 ``--json`` emits machine-readable output instead of the text report, and
 ``--metrics-out`` / ``--trace-out`` enable the observability layer
 (:mod:`repro.obs`) and export a Prometheus metric snapshot / JSONL trace
-of the planning run.
+of the planning run; ``--profile-out`` additionally profiles the run
+(cProfile + tracemalloc) and dumps a top-N hotspot report.
 """
 
 from __future__ import annotations
@@ -51,6 +52,7 @@ from .core.power import power_comparison
 from .core.utilization import utilization_report
 from .obs import (
     MetricsRegistry,
+    SpanProfiler,
     TraceLog,
     scoped_registry,
     scoped_trace,
@@ -217,6 +219,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="FILE",
         help="enable observability and write the JSONL event trace to FILE",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="profile the planning run (cProfile + tracemalloc) and write "
+        "the top-N hotspot report to FILE",
+    )
     args = parser.parse_args(argv)
 
     path = Path(args.deployment)
@@ -235,23 +243,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    observed = bool(args.metrics_out or args.trace_out)
+    observed = bool(args.metrics_out or args.trace_out or args.profile_out)
     registry = MetricsRegistry("repro-plan") if observed else None
     trace = TraceLog() if observed else None
+    profiler = SpanProfiler() if args.profile_out else None
 
     # One solve, under the requested Eq. 4 reading, for the whole report.
     if observed:
         with scoped_registry(registry), scoped_trace(trace):
-            with trace.span("plan", deployment=str(path), load_model=args.load_model):
+            span = (
+                profiler.span(trace, "plan", deployment=str(path), load_model=args.load_model)
+                if profiler is not None
+                else trace.span("plan", deployment=str(path), load_model=args.load_model)
+            )
+            with span:
                 report = _build_report(inputs, planner, args.load_model)
     else:
         report = _build_report(inputs, planner, args.load_model)
 
     if observed:
-        if args.metrics_out:
-            write_prometheus(registry, args.metrics_out)
-        if args.trace_out:
-            write_trace_jsonl(trace, args.trace_out)
+        try:
+            if args.metrics_out:
+                write_prometheus(registry, args.metrics_out)
+            if args.trace_out:
+                write_trace_jsonl(trace, args.trace_out)
+            if profiler is not None:
+                profiler.write(args.profile_out)
+        except OSError as exc:
+            print(f"error: cannot write observability output: {exc}", file=sys.stderr)
+            return 1
 
     if args.json:
         print(json.dumps(_report_json(report, inputs, targets, args.load_model), indent=2))

@@ -9,8 +9,14 @@ instrumentation layer (:mod:`repro.obs`) and export a Prometheus-format
 metric snapshot / a JSONL event trace after the run.  Every observed run
 also writes a deterministic run manifest (canonical inputs hash, seed,
 model version, wall time, metric snapshot) next to the results: in
-``--output`` when given, else beside the metric/trace files, else under
-``results/`` for ``--full`` runs.
+``--output`` when given, else beside the metric/trace/profile files, else
+under ``results/`` for ``--full`` runs.
+
+``--profile-out FILE`` profiles every experiment span (cProfile +
+tracemalloc) and dumps one accumulated top-N hotspot report; ``--progress``
+prints heartbeat lines to stderr during long sweeps — completed/total,
+ETA, trace-event deltas, and a stall warning when nothing has moved within
+the stall window.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from typing import Sequence
 
 from ..obs import (
     MetricsRegistry,
+    ProgressReporter,
+    SpanProfiler,
     TraceLog,
     build_manifest,
     scoped_registry,
@@ -63,13 +71,15 @@ def run_all(seed: int = 2009, fast: bool = True) -> dict[str, object]:
 
 
 def _manifest_dir(args) -> Path | None:
-    """Where the run manifest lands (None = observability off, no manifest)."""
+    """Where the run manifest lands (None = no manifest written)."""
     if args.output:
         return Path(args.output)
     if args.metrics_out:
         return Path(args.metrics_out).parent
     if args.trace_out:
         return Path(args.trace_out).parent
+    if args.profile_out:
+        return Path(args.profile_out).parent
     if args.full:
         return Path("results")
     return None
@@ -110,6 +120,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="enable observability and write the JSONL event trace "
         "(one span per experiment) to FILE after the run",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="profile every experiment span (cProfile + tracemalloc) and "
+        "write the accumulated top-N hotspot report to FILE",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print heartbeat progress lines (ETA, trace deltas, stall "
+        "detection) to stderr during the sweep",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="heartbeat period for --progress (default: 5s)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -119,20 +148,38 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     names = args.experiments or sorted(all_experiments())
     manifest_dir = _manifest_dir(args)
-    observed = manifest_dir is not None
+    observed = manifest_dir is not None or args.progress
 
     registry = MetricsRegistry("experiments") if observed else None
     trace = TraceLog() if observed else None
+    profiler = SpanProfiler() if args.profile_out else None
+    reporter = (
+        ProgressReporter(
+            total=len(names),
+            interval_s=args.progress_interval,
+            registry=registry,
+            trace=trace,
+        )
+        if args.progress
+        else None
+    )
 
     def run() -> None:
         for name in names:
             fn = get_experiment(name)
             if trace is not None:
-                with trace.span("experiment", experiment=name) as span_fields:
+                span = (
+                    profiler.span(trace, "experiment", experiment=name)
+                    if profiler is not None
+                    else trace.span("experiment", experiment=name)
+                )
+                with span as span_fields:
                     result = fn(seed=args.seed, fast=not args.full)
                     span_fields["rows"] = len(result.rows)
             else:
                 result = fn(seed=args.seed, fast=not args.full)
+            if reporter is not None:
+                reporter.advance(name)
             print("=" * 72)
             print(f"[{result.experiment}] {result.title}")
             print("=" * 72)
@@ -145,30 +192,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     t0 = perf_counter()
     if observed:
         with scoped_registry(registry), scoped_trace(trace):
-            run()
+            if reporter is not None:
+                reporter.start()
+            try:
+                run()
+            finally:
+                if reporter is not None:
+                    reporter.finish()
     else:
         run()
     wall_time = perf_counter() - t0
 
     if observed:
-        if args.metrics_out:
-            write_prometheus(registry, args.metrics_out)
-        if args.trace_out:
-            write_trace_jsonl(trace, args.trace_out)
-        manifest = build_manifest(
-            {
-                "tool": "repro-experiments",
-                "experiments": list(names),
-                "seed": args.seed,
-                "full": bool(args.full),
-            },
-            seed=args.seed,
-            wall_time_s=wall_time,
-            registry=registry,
-            trace=trace,
-        )
-        manifest_path = write_manifest(manifest, Path(manifest_dir) / "run_manifest.json")
-        print(f"run manifest: {manifest_path}", file=sys.stderr)
+        try:
+            if args.metrics_out:
+                write_prometheus(registry, args.metrics_out)
+            if args.trace_out:
+                write_trace_jsonl(trace, args.trace_out)
+            if profiler is not None:
+                profiler.write(args.profile_out)
+            if manifest_dir is not None:
+                manifest = build_manifest(
+                    {
+                        "tool": "repro-experiments",
+                        "experiments": list(names),
+                        "seed": args.seed,
+                        "full": bool(args.full),
+                    },
+                    seed=args.seed,
+                    wall_time_s=wall_time,
+                    registry=registry,
+                    trace=trace,
+                )
+                manifest_path = write_manifest(
+                    manifest, Path(manifest_dir) / "run_manifest.json"
+                )
+                print(f"run manifest: {manifest_path}", file=sys.stderr)
+        except OSError as exc:
+            print(f"error: cannot write observability output: {exc}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -20,15 +20,39 @@ The experiment runner (``repro-experiments --metrics-out --trace-out``)
 and the planner CLI (``repro-plan``) wire this up from the command line.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchResult,
+    BenchSpec,
+    bench,
+    build_artifact,
+    discover_suite,
+    merge_artifacts,
+    registered_benchmarks,
+    run_specs,
+    select_specs,
+    validate_artifact,
+    write_artifact,
+)
+from .compare import (
+    BenchDelta,
+    Comparison,
+    compare_artifacts,
+    load_artifact,
+    verdict_table,
+)
 from .export import (
     MANIFEST_SCHEMA,
     build_manifest,
+    environment_fingerprint,
     inputs_hash,
     prometheus_text,
     write_manifest,
     write_prometheus,
     write_trace_jsonl,
 )
+from .profileutil import PROFILE_SCHEMA, SpanProfiler
+from .progress import ProgressReporter
 from .registry import (
     Counter,
     Gauge,
@@ -69,7 +93,31 @@ __all__ = [
     "write_prometheus",
     "write_trace_jsonl",
     "inputs_hash",
+    "environment_fingerprint",
     "build_manifest",
     "write_manifest",
     "MANIFEST_SCHEMA",
+    # bench harness
+    "BENCH_SCHEMA",
+    "BenchSpec",
+    "BenchResult",
+    "bench",
+    "registered_benchmarks",
+    "discover_suite",
+    "select_specs",
+    "run_specs",
+    "build_artifact",
+    "merge_artifacts",
+    "validate_artifact",
+    "write_artifact",
+    # comparison
+    "BenchDelta",
+    "Comparison",
+    "compare_artifacts",
+    "load_artifact",
+    "verdict_table",
+    # profiling & progress
+    "PROFILE_SCHEMA",
+    "SpanProfiler",
+    "ProgressReporter",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
+import platform
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -23,6 +25,7 @@ __all__ = [
     "write_prometheus",
     "write_trace_jsonl",
     "inputs_hash",
+    "environment_fingerprint",
     "build_manifest",
     "write_manifest",
     "MANIFEST_SCHEMA",
@@ -43,11 +46,22 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    # Text exposition format: label values escape backslash, double-quote,
+    # and line feed (in this order — backslash first).
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and line feed only (quotes are legal).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _labels_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = tuple(labels) + extra
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -62,7 +76,7 @@ def prometheus_text(registry: MetricsRegistry | NullRegistry) -> str:
     for name, kind, help, instruments in registry.families():
         prom_kind = "histogram" if kind == "timer" else kind
         if help:
-            lines.append(f"# HELP {name} {help}")
+            lines.append(f"# HELP {name} {_escape_help(help)}")
         lines.append(f"# TYPE {name} {prom_kind}")
         for inst in instruments:
             if kind in ("counter", "gauge"):
@@ -105,6 +119,27 @@ def inputs_hash(inputs: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def environment_fingerprint() -> dict[str, Any]:
+    """Where a run happened: interpreter, platform, and numeric-stack versions.
+
+    Shared by run manifests and bench artifacts so performance numbers are
+    always attributable to a concrete environment.
+    """
+    fingerprint: dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    for module in ("numpy", "scipy"):
+        try:
+            fingerprint[module] = __import__(module).__version__
+        except Exception:  # pragma: no cover - numpy/scipy are baked in
+            fingerprint[module] = None
+    return fingerprint
+
+
 def _model_version() -> str:
     # Imported lazily: repro/__init__ imports repro.obs, so a module-level
     # import here would be circular.
@@ -130,6 +165,7 @@ def build_manifest(
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "model_version": _model_version(),
+        "environment": environment_fingerprint(),
         "seed": seed,
         "inputs": dict(inputs),
         "inputs_hash": inputs_hash(inputs),
@@ -137,10 +173,13 @@ def build_manifest(
         "metrics": registry.snapshot() if registry is not None else {},
     }
     if trace is not None:
+        # capacity/dropped make ring-buffer truncation detectable post-hoc:
+        # dropped > 0 means the JSONL export is missing the oldest events.
         manifest["trace"] = {
             "events": len(trace),
             "emitted": trace.emitted,
             "dropped": trace.dropped,
+            "capacity": trace.capacity,
         }
     if extra:
         manifest.update(dict(extra))

@@ -1,0 +1,151 @@
+"""Opt-in span profilers: cProfile hotspots + tracemalloc allocation sites.
+
+A :class:`SpanProfiler` attaches to :class:`~repro.obs.trace.TraceLog`
+spans: ``profiler.span(trace, "plan", ...)`` records the usual
+``span_begin``/``span_end`` pair *and* profiles the body.  Profiles from
+multiple spans accumulate into one report, so the experiment runner can
+profile every experiment span of a sweep and dump a single top-N hotspot
+list at the end.
+
+This is deliberately opt-in (``--profile-out`` on ``repro-plan`` and
+``repro-experiments``): cProfile costs roughly 2-4x on tight Python loops
+and tracemalloc more, which is why neither is ever armed by default — the
+<5% disabled-overhead guard in ``benchmarks/bench_obs_overhead.py`` only
+holds with the profilers off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import tracemalloc
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .trace import NullTraceLog, TraceLog
+
+__all__ = ["PROFILE_SCHEMA", "SpanProfiler"]
+
+PROFILE_SCHEMA = "repro.profile/v1"
+
+
+class SpanProfiler:
+    """Accumulating cProfile + tracemalloc profiler for trace spans."""
+
+    def __init__(self, *, top_n: int = 25, trace_allocations: bool = True) -> None:
+        if top_n < 1:
+            raise ValueError(f"top_n must be positive, got {top_n}")
+        self.top_n = top_n
+        self.trace_allocations = trace_allocations
+        self._profile = cProfile.Profile()
+        self._spans: list[dict[str, Any]] = []
+        self._alloc_peak_bytes = 0
+        self._alloc_stats: list[dict[str, Any]] = []
+
+    # -- capture ---------------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self, trace: TraceLog | NullTraceLog, name: str, **fields: Any
+    ) -> Iterator[dict[str, Any]]:
+        """Profile the body of a trace span.
+
+        The span is recorded in ``trace`` exactly as ``trace.span`` would;
+        the profiler adds cProfile capture (always) and a tracemalloc pass
+        (unless ``trace_allocations=False`` or something else is already
+        tracing allocations).
+        """
+        own_tracemalloc = self.trace_allocations and not tracemalloc.is_tracing()
+        if own_tracemalloc:
+            tracemalloc.start()
+        self._profile.enable()
+        try:
+            with trace.span(name, **fields) as span_fields:
+                yield span_fields
+        finally:
+            self._profile.disable()
+            if own_tracemalloc:
+                _, peak = tracemalloc.get_traced_memory()
+                snapshot = tracemalloc.take_snapshot()
+                tracemalloc.stop()
+                self._alloc_peak_bytes = max(self._alloc_peak_bytes, peak)
+                self._record_alloc(snapshot)
+            self._spans.append({"name": name, **fields})
+
+    def _record_alloc(self, snapshot: "tracemalloc.Snapshot") -> None:
+        # Merge this span's top allocation sites into the running list,
+        # keeping the overall top-N by size.
+        merged: dict[str, dict[str, Any]] = {
+            entry["location"]: dict(entry) for entry in self._alloc_stats
+        }
+        for stat in snapshot.statistics("lineno")[: self.top_n]:
+            frame = stat.traceback[0]
+            location = f"{frame.filename}:{frame.lineno}"
+            entry = merged.setdefault(
+                location, {"location": location, "size_bytes": 0, "count": 0}
+            )
+            entry["size_bytes"] += stat.size
+            entry["count"] += stat.count
+        self._alloc_stats = sorted(
+            merged.values(), key=lambda e: e["size_bytes"], reverse=True
+        )[: self.top_n]
+
+    # -- reporting -------------------------------------------------------------
+
+    def hotspots(self) -> list[dict[str, Any]]:
+        """Top-N functions by cumulative time across all profiled spans."""
+        stats = pstats.Stats(self._profile)
+        rows = []
+        for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}:{func}",
+                    "calls": nc,
+                    "primitive_calls": cc,
+                    "tottime_s": tt,
+                    "cumtime_s": ct,
+                }
+            )
+        rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+        return rows[: self.top_n]
+
+    def allocation_top(self) -> list[dict[str, Any]]:
+        """Top allocation sites by size (empty when tracemalloc was off)."""
+        return list(self._alloc_stats)
+
+    def report(self) -> dict[str, Any]:
+        return {
+            "schema": PROFILE_SCHEMA,
+            "spans": list(self._spans),
+            "hotspots": self.hotspots(),
+            "allocations": {
+                "enabled": self.trace_allocations,
+                "peak_bytes": self._alloc_peak_bytes,
+                "top": self.allocation_top(),
+            },
+        }
+
+    def to_text(self) -> str:
+        lines = [f"profiled spans: {len(self._spans)}"]
+        lines.append(f"top {self.top_n} hotspots by cumulative time:")
+        for row in self.hotspots():
+            lines.append(
+                f"  {row['cumtime_s']:9.4f}s  {row['calls']:>8} calls  {row['function']}"
+            )
+        if self.trace_allocations:
+            lines.append(f"allocation peak: {self._alloc_peak_bytes} bytes")
+            for entry in self.allocation_top():
+                lines.append(
+                    f"  {entry['size_bytes']:>10} bytes  {entry['count']:>8} blocks  "
+                    f"{entry['location']}"
+                )
+        return "\n".join(lines)
+
+    def write(self, path: str | Path) -> Path:
+        """Dump the JSON report to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.report(), indent=2, default=str) + "\n")
+        return path

@@ -1,0 +1,168 @@
+"""Heartbeat progress reporting for long experiment sweeps.
+
+A publication-grade (``--full``) sweep can run for many minutes with no
+output between experiments.  :class:`ProgressReporter` emits a periodic
+heartbeat line to stderr with completed/total counts, elapsed time, a
+naive ETA, and the trace-event delta since the last beat — and flags a
+**stall** when neither an ``advance()`` nor a new trace event has been
+seen within the stall window (an experiment stuck in a simulation loop
+still emits trace events, so a genuinely wedged process is distinguishable
+from a slow one).
+
+Heartbeats also take a metrics-registry snapshot each beat; the most
+recent snapshots are kept on ``reporter.snapshots`` for post-hoc
+inspection (how fast were counters moving when it stalled?).
+
+The reporter runs a daemon thread between :meth:`start` and
+:meth:`finish`; tests drive :meth:`tick` directly with an injected clock.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, TextIO
+
+from .registry import MetricsRegistry, NullRegistry
+from .trace import NullTraceLog, TraceLog
+
+__all__ = ["ProgressReporter"]
+
+#: Heartbeat snapshots retained for inspection.
+SNAPSHOT_KEEP = 32
+
+
+class ProgressReporter:
+    """Periodic progress/stall reporter for multi-unit runs."""
+
+    def __init__(
+        self,
+        total: int | None = None,
+        *,
+        label: str = "experiments",
+        interval_s: float = 5.0,
+        stall_after_s: float | None = None,
+        stream: TextIO | None = None,
+        registry: MetricsRegistry | NullRegistry | None = None,
+        trace: TraceLog | NullTraceLog | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        if total is not None and total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        self.total = total
+        self.label = label
+        self.interval_s = interval_s
+        # Default stall window: several missed beats, floored so sub-second
+        # test intervals don't flag every gap between experiments.
+        self.stall_after_s = (
+            stall_after_s if stall_after_s is not None else max(6.0 * interval_s, 30.0)
+        )
+        self.stream = stream if stream is not None else sys.stderr
+        self.registry = registry
+        self.trace = trace
+        self.heartbeats: list[str] = []
+        self.snapshots: deque[dict[str, Any]] = deque(maxlen=SNAPSHOT_KEEP)
+        self.stalls = 0
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._done = 0
+        self._last_item: str | None = None
+        self._t0 = self._clock()
+        self._last_activity = self._t0
+        self._last_emitted = trace.emitted if trace is not None else 0
+        self._stop: threading.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ProgressReporter":
+        """Reset the clock and launch the heartbeat thread."""
+        self._t0 = self._clock()
+        self._last_activity = self._t0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-progress", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        assert self._stop is not None
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def advance(self, item: str | None = None, n: int = 1) -> None:
+        """Record ``n`` completed units (thread-safe)."""
+        with self._lock:
+            self._done += n
+            self._last_item = item
+            self._last_activity = self._clock()
+
+    def finish(self) -> None:
+        """Stop the heartbeat thread and emit the final summary line."""
+        if self._thread is not None:
+            assert self._stop is not None
+            self._stop.set()
+            self._thread.join(timeout=2.0 * self.interval_s)
+            self._thread = None
+        elapsed = self._clock() - self._t0
+        done, total = self._done, self.total
+        of = f"/{total}" if total is not None else ""
+        self._emit(f"[progress] done: {done}{of} {self.label} in {elapsed:.1f}s")
+
+    # -- heartbeat -------------------------------------------------------------
+
+    def tick(self, now: float | None = None) -> str:
+        """Emit one heartbeat line; returns it (tests call this directly)."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            done = self._done
+            last_item = self._last_item
+            last_activity = self._last_activity
+        elapsed = now - self._t0
+        parts = [f"[progress] {done}"]
+        if self.total is not None:
+            parts[0] += f"/{self.total}"
+        parts[0] += f" {self.label}"
+        parts.append(f"elapsed {elapsed:.1f}s")
+        if self.total and 0 < done < self.total:
+            eta = (self.total - done) * elapsed / done
+            parts.append(f"eta {eta:.1f}s")
+        if last_item:
+            parts.append(f"last {last_item}")
+
+        new_events = 0
+        if self.trace is not None:
+            emitted = self.trace.emitted
+            new_events = emitted - self._last_emitted
+            self._last_emitted = emitted
+            parts.append(f"trace {emitted} (+{new_events})")
+            if new_events > 0:
+                with self._lock:
+                    self._last_activity = max(self._last_activity, now)
+                    last_activity = self._last_activity
+
+        if self.registry is not None:
+            snapshot = self.registry.snapshot()
+            self.snapshots.append({"elapsed_s": elapsed, "metrics": snapshot})
+            parts.append(f"metrics {len(snapshot)} families")
+
+        idle = now - last_activity
+        if idle > self.stall_after_s and new_events == 0:
+            self.stalls += 1
+            parts.append(f"STALL no activity for {idle:.1f}s")
+        line = " · ".join(parts)
+        self._emit(line)
+        return line
+
+    def _emit(self, line: str) -> None:
+        self.heartbeats.append(line)
+        print(line, file=self.stream)
+        try:
+            self.stream.flush()
+        except (AttributeError, OSError):  # pragma: no cover - stream quirk
+            pass

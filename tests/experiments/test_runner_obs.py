@@ -73,3 +73,37 @@ class TestUnobservedRun:
         assert main(["table1"]) == 0
         capsys.readouterr()
         assert list(tmp_path.iterdir()) == []
+
+
+class TestProfileOut:
+    def test_writes_hotspot_report_and_manifest(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        assert main(["table1", "--profile-out", str(profile)]) == 0
+        capsys.readouterr()
+        doc = json.loads(profile.read_text())
+        assert doc["schema"] == "repro.profile/v1"
+        assert doc["spans"] == [{"name": "experiment", "experiment": "table1"}]
+        assert doc["hotspots"]
+        # The profile file's directory doubles as the manifest fallback.
+        assert (tmp_path / "run_manifest.json").exists()
+
+    def test_unwritable_profile_path(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        assert main(["table1", "--profile-out", str(blocker / "x" / "p.json")]) == 1
+        assert "cannot write observability output" in capsys.readouterr().err
+
+
+class TestProgress:
+    def test_progress_emits_summary_line(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[progress] done: 1/1 experiments" in err
+        # --progress alone enables observability but writes no files.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_progress_with_manifest(self, run_table1, capsys):
+        metrics, _, manifest_path = run_table1("--progress")
+        assert metrics.exists()
+        assert manifest_path.exists()

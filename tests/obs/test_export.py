@@ -10,6 +10,7 @@ from repro.obs import (
     MetricsRegistry,
     TraceLog,
     build_manifest,
+    environment_fingerprint,
     inputs_hash,
     prometheus_text,
     write_manifest,
@@ -62,6 +63,63 @@ class TestPrometheusText:
         assert "requests_total 12" in path.read_text()
 
 
+def _unescape_label_value(value: str) -> str:
+    """Inverse of the text-format label escaping, per the exposition spec."""
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it)
+        out.append({"n": "\n", '"': '"', "\\": "\\"}[nxt])
+    return "".join(out)
+
+
+class TestPrometheusEscaping:
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels={"svc": 'a"b\n\\'}).inc()
+        text = prometheus_text(reg)
+        assert 'x{svc="a\\"b\\n\\\\"} 1' in text
+        # No raw newline may survive inside a sample line.
+        sample = [l for l in text.splitlines() if l.startswith("x{")]
+        assert len(sample) == 1
+
+    def test_label_round_trip(self):
+        nasty = 'quote:" backslash:\\ newline:\nend'
+        reg = MetricsRegistry()
+        reg.counter("y", labels={"k": nasty}).inc()
+        line = [l for l in prometheus_text(reg).splitlines() if l.startswith("y{")][0]
+        escaped = line[line.index('"') + 1 : line.rindex('"')]
+        assert _unescape_label_value(escaped) == nasty
+
+    def test_help_escapes_newline_and_backslash(self):
+        reg = MetricsRegistry()
+        reg.counter("z", help="line1\nline2 \\ slash").inc()
+        text = prometheus_text(reg)
+        assert "# HELP z line1\\nline2 \\\\ slash" in text
+
+    def test_plain_values_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("plain", help="simple", labels={"a": "b"}).inc()
+        text = prometheus_text(reg)
+        assert '# HELP plain simple' in text
+        assert 'plain{a="b"} 1' in text
+
+
+class TestEnvironmentFingerprint:
+    def test_fields(self):
+        fp = environment_fingerprint()
+        assert fp["python"].count(".") >= 1
+        assert fp["implementation"]
+        assert fp["cpu_count"] >= 1
+        assert fp["numpy"] is not None
+
+    def test_json_serialisable(self):
+        json.dumps(environment_fingerprint())
+
+
 class TestInputsHash:
     def test_stable_across_key_order(self):
         assert inputs_hash({"a": 1, "b": [2, 3]}) == inputs_hash({"b": [2, 3], "a": 1})
@@ -94,8 +152,24 @@ class TestManifest:
         assert manifest["inputs_hash"] == inputs_hash({"experiments": ["table1"], "seed": 7})
         assert manifest["wall_time_s"] == 1.25
         assert manifest["metrics"]["requests_total"]["series"][0]["value"] == 12.0
-        assert manifest["trace"] == {"events": 1, "emitted": 1, "dropped": 0}
+        assert manifest["trace"] == {
+            "events": 1,
+            "emitted": 1,
+            "dropped": 0,
+            "capacity": trace.capacity,
+        }
+        assert manifest["environment"]["python"]
         assert manifest["note"] == "test"
+
+    def test_trace_overflow_detectable(self):
+        trace = TraceLog(capacity=4)
+        for i in range(10):
+            trace.emit("e", i=i)
+        manifest = build_manifest({}, trace=trace)
+        assert manifest["trace"]["capacity"] == 4
+        assert manifest["trace"]["emitted"] == 10
+        assert manifest["trace"]["dropped"] == 6
+        assert manifest["trace"]["events"] == 4
 
     def test_same_inputs_same_hash(self):
         a = build_manifest({"x": 1}, seed=1)

@@ -1,0 +1,110 @@
+"""Tests for the cProfile/tracemalloc span profiler."""
+
+import json
+
+import pytest
+
+from repro.obs import PROFILE_SCHEMA, SpanProfiler, TraceLog
+from repro.obs.trace import NullTraceLog
+
+
+def _busy_work():
+    return sum(i * i for i in range(20_000))
+
+
+def _allocate():
+    return [bytearray(1024) for _ in range(100)]
+
+
+class TestSpanProfiler:
+    def test_records_trace_span_pair(self):
+        trace = TraceLog()
+        profiler = SpanProfiler(trace_allocations=False)
+        with profiler.span(trace, "work", stage="x") as fields:
+            _busy_work()
+            fields["note"] = "done"
+        kinds = [e.kind for e in trace.events()]
+        assert kinds == ["span_begin", "span_end"]
+        end = trace.events()[1]
+        assert end.fields["stage"] == "x"
+        assert end.fields["note"] == "done"
+        assert end.fields["duration_s"] > 0.0
+
+    def test_hotspots_include_profiled_function(self):
+        profiler = SpanProfiler(trace_allocations=False)
+        with profiler.span(NullTraceLog(), "work"):
+            _busy_work()
+        functions = [row["function"] for row in profiler.hotspots()]
+        assert any("_busy_work" in f for f in functions)
+        top = profiler.hotspots()[0]
+        assert top["cumtime_s"] >= 0.0
+        assert top["calls"] >= 1
+
+    def test_accumulates_across_spans(self):
+        profiler = SpanProfiler(trace_allocations=False)
+        trace = NullTraceLog()
+        with profiler.span(trace, "a"):
+            _busy_work()
+        with profiler.span(trace, "b"):
+            _busy_work()
+        report = profiler.report()
+        assert [s["name"] for s in report["spans"]] == ["a", "b"]
+
+    def test_allocation_tracking(self):
+        profiler = SpanProfiler(trace_allocations=True)
+        with profiler.span(NullTraceLog(), "alloc"):
+            data = _allocate()
+        report = profiler.report()
+        assert report["allocations"]["peak_bytes"] > 100 * 1024
+        assert report["allocations"]["top"]
+        assert any(
+            "test_profileutil" in e["location"] for e in report["allocations"]["top"]
+        )
+        del data
+
+    def test_allocations_disabled(self):
+        profiler = SpanProfiler(trace_allocations=False)
+        with profiler.span(NullTraceLog(), "x"):
+            _allocate()
+        report = profiler.report()
+        assert report["allocations"]["enabled"] is False
+        assert report["allocations"]["peak_bytes"] == 0
+        assert report["allocations"]["top"] == []
+
+    def test_top_n_limits_rows(self):
+        profiler = SpanProfiler(top_n=3, trace_allocations=False)
+        with profiler.span(NullTraceLog(), "x"):
+            _busy_work()
+        assert len(profiler.hotspots()) <= 3
+
+    def test_invalid_top_n(self):
+        with pytest.raises(ValueError):
+            SpanProfiler(top_n=0)
+
+    def test_exception_still_disables_profiler(self):
+        trace = TraceLog()
+        profiler = SpanProfiler(trace_allocations=True)
+        with pytest.raises(RuntimeError):
+            with profiler.span(trace, "boom"):
+                raise RuntimeError("x")
+        # span_end still recorded; a second span still works.
+        assert [e.kind for e in trace.events()] == ["span_begin", "span_end"]
+        with profiler.span(trace, "again"):
+            pass
+
+    def test_write_report(self, tmp_path):
+        profiler = SpanProfiler(trace_allocations=False)
+        with profiler.span(NullTraceLog(), "x"):
+            _busy_work()
+        path = profiler.write(tmp_path / "deep" / "profile.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["hotspots"]
+
+    def test_to_text(self):
+        profiler = SpanProfiler(trace_allocations=False)
+        with profiler.span(NullTraceLog(), "x"):
+            _busy_work()
+        text = profiler.to_text()
+        assert "hotspots by cumulative time" in text
+        assert "profiled spans: 1" in text

@@ -1,0 +1,146 @@
+"""Tests for the heartbeat progress reporter (driven with a fake clock)."""
+
+import io
+
+import pytest
+
+from repro.obs import MetricsRegistry, ProgressReporter, TraceLog
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _reporter(clock, **kwargs):
+    kwargs.setdefault("stream", io.StringIO())
+    kwargs.setdefault("clock", clock)
+    return ProgressReporter(**kwargs)
+
+
+class TestHeartbeat:
+    def test_counts_and_eta(self, clock):
+        reporter = _reporter(clock, total=4)
+        clock.advance(10.0)
+        reporter.advance("fig02")
+        line = reporter.tick()
+        assert "[progress] 1/4 experiments" in line
+        assert "elapsed 10.0s" in line
+        assert "eta 30.0s" in line  # 3 remaining at 10s each
+        assert "last fig02" in line
+
+    def test_no_eta_without_progress(self, clock):
+        reporter = _reporter(clock, total=4)
+        clock.advance(5.0)
+        assert "eta" not in reporter.tick()
+
+    def test_total_optional(self, clock):
+        reporter = _reporter(clock, label="units")
+        reporter.advance()
+        assert "[progress] 1 units" in reporter.tick()
+
+    def test_lines_go_to_stream_and_history(self, clock):
+        stream = io.StringIO()
+        reporter = _reporter(clock, total=2, stream=stream)
+        line = reporter.tick()
+        assert reporter.heartbeats == [line]
+        assert stream.getvalue() == line + "\n"
+
+    def test_invalid_params(self, clock):
+        with pytest.raises(ValueError):
+            _reporter(clock, interval_s=0.0)
+        with pytest.raises(ValueError):
+            _reporter(clock, total=-1)
+
+
+class TestTraceWatching:
+    def test_trace_delta_reported(self, clock):
+        trace = TraceLog()
+        reporter = _reporter(clock, total=2, trace=trace)
+        trace.emit("a")
+        trace.emit("b")
+        assert "trace 2 (+2)" in reporter.tick()
+        trace.emit("c")
+        assert "trace 3 (+1)" in reporter.tick()
+
+    def test_stall_flagged_when_nothing_moves(self, clock):
+        trace = TraceLog()
+        reporter = _reporter(clock, total=2, trace=trace, stall_after_s=30.0)
+        clock.advance(31.0)
+        line = reporter.tick()
+        assert "STALL" in line
+        assert reporter.stalls == 1
+
+    def test_trace_events_clear_stall(self, clock):
+        trace = TraceLog()
+        reporter = _reporter(clock, total=2, trace=trace, stall_after_s=30.0)
+        clock.advance(31.0)
+        trace.emit("alive")
+        line = reporter.tick()
+        assert "STALL" not in line
+        # ...and the activity mark moved, so the next window starts fresh.
+        clock.advance(10.0)
+        assert "STALL" not in reporter.tick()
+
+    def test_advance_clears_stall(self, clock):
+        reporter = _reporter(clock, total=2, stall_after_s=30.0)
+        clock.advance(29.0)
+        reporter.advance("slow-exp")
+        clock.advance(2.0)
+        assert "STALL" not in reporter.tick()
+
+    def test_default_stall_window_scales_with_interval(self, clock):
+        assert _reporter(clock, interval_s=10.0).stall_after_s == 60.0
+        assert _reporter(clock, interval_s=0.1).stall_after_s == 30.0
+
+
+class TestRegistrySnapshots:
+    def test_snapshots_accumulate(self, clock):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc(5)
+        reporter = _reporter(clock, total=2, registry=registry)
+        clock.advance(1.0)
+        line = reporter.tick()
+        assert "metrics 1 families" in line
+        assert len(reporter.snapshots) == 1
+        snap = reporter.snapshots[0]
+        assert snap["elapsed_s"] == 1.0
+        assert snap["metrics"]["events_total"]["series"][0]["value"] == 5.0
+
+    def test_snapshot_ring_bounded(self, clock):
+        reporter = _reporter(clock, registry=MetricsRegistry())
+        for _ in range(100):
+            reporter.tick()
+        assert len(reporter.snapshots) == 32
+
+
+class TestLifecycle:
+    def test_finish_emits_summary(self, clock):
+        reporter = _reporter(clock, total=3)
+        reporter.advance()
+        reporter.advance()
+        clock.advance(7.5)
+        reporter.finish()
+        assert reporter.heartbeats[-1] == "[progress] done: 2/3 experiments in 7.5s"
+
+    def test_thread_start_finish(self):
+        # Real clock + real thread: just verify clean start/stop and that
+        # the summary line lands.
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, interval_s=0.05, stream=stream)
+        reporter.start()
+        reporter.advance("only")
+        reporter.finish()
+        assert reporter._thread is None
+        assert "[progress] done: 1/1 experiments" in stream.getvalue()

@@ -155,3 +155,39 @@ class TestObservability:
         assert main([write(tmp_path, VALID_DOC)]) == 0
         capsys.readouterr()
         assert not (tmp_path / "plan.prom").exists()
+
+    def test_profile_out_writes_hotspot_report(self, tmp_path, capsys):
+        profile = tmp_path / "plan_profile.json"
+        assert main([write(tmp_path, VALID_DOC), "--profile-out", str(profile)]) == 0
+        capsys.readouterr()
+        doc = json.loads(profile.read_text())
+        assert doc["schema"] == "repro.profile/v1"
+        assert doc["spans"] == [
+            {
+                "name": "plan",
+                "deployment": str(tmp_path / "deployment.json"),
+                "load_model": "paper",
+            }
+        ]
+        functions = [row["function"] for row in doc["hotspots"]]
+        assert any("solve" in f for f in functions)
+        assert doc["allocations"]["peak_bytes"] > 0
+
+
+class TestOutputPathErrors:
+    """Exports into an impossible parent fail with a message, not a traceback."""
+
+    @pytest.mark.parametrize("flag", ["--metrics-out", "--trace-out", "--profile-out"])
+    def test_parent_is_a_file(self, tmp_path, capsys, flag):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        target = blocker / "sub" / "out.file"
+        assert main([write(tmp_path, VALID_DOC), flag, str(target)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot write observability output" in err
+
+    def test_missing_parent_is_created(self, tmp_path, capsys):
+        target = tmp_path / "fresh" / "dir" / "m.prom"
+        assert main([write(tmp_path, VALID_DOC), "--metrics-out", str(target)]) == 0
+        capsys.readouterr()
+        assert target.exists()
