@@ -19,6 +19,7 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..core import allocation_algorithm_bound, virtualization_bound
+from ..obs import fidelity
 from ..simulation.fluid import simulate_flow_control
 from ..virtualization.rainbow import (
     IdealFlow,
@@ -149,3 +150,33 @@ def run_virtualization(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations for both application studies.
+fidelity.declare_expectations(
+    "app1",
+    fidelity.Expectation(
+        "equal_servers", 4, source="App 1: equal-fleet comparison at M = N = 4"
+    ),
+    fidelity.Expectation(
+        "optimal_improvement",
+        1.19,
+        abs_tol=0.02,
+        source="App 1: analytic goodput-improvement bound",
+    ),
+)
+fidelity.declare_expectations(
+    "app2",
+    fidelity.Expectation(
+        "xen_fraction_of_ideal",
+        0.95,
+        op="ge",
+        abs_tol=0.02,
+        source="App 2: Xen reaches >= 95% of the ideal hypervisor",
+    ),
+    fidelity.Expectation(
+        "virtualization_qos_cost",
+        0.02,
+        op="le",
+        abs_tol=0.01,
+        source="App 2: virtualization QoS cost stays small",
+    ),
+)

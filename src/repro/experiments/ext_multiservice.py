@@ -20,6 +20,7 @@ from ..core import (
     UtilityAnalyticModel,
     utilization_report,
 )
+from ..obs import fidelity
 from ..simulation.datacenter import DataCenterSimulation
 from .base import ExperimentResult, register
 
@@ -124,3 +125,29 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: five heterogeneous services with mixed
+# bottlenecks still consolidate to about half the dedicated fleet.
+fidelity.declare_expectations(
+    "ext-multiservice",
+    fidelity.Expectation(
+        "services", 5, source="Extension: five heterogeneous services"
+    ),
+    fidelity.Expectation(
+        "distinct_bottlenecks",
+        3,
+        source="Extension: three distinct bottleneck resources",
+    ),
+    fidelity.Expectation(
+        "offered_sizing_meets_target",
+        True,
+        op="bool",
+        source="Extension: offered-load sizing meets the loss target",
+    ),
+    fidelity.Expectation(
+        "infrastructure_saving_offered",
+        0.5,
+        op="ge",
+        abs_tol=0.05,
+        source="Extension: consolidation halves the fleet",
+    ),
+)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..analysis.report import format_kv, format_table
 from ..core import UtilityAnalyticModel
+from ..obs import fidelity
 from ..queueing.erlang import erlang_b
 from ..queueing.fixed_point import fixed_point_for_inputs
 from .base import ExperimentResult, register
@@ -77,3 +78,33 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the case-study scale reproduces the 50%
+# saving, and statistical multiplexing only strengthens it with scale.
+fidelity.declare_expectations(
+    "ext-scale",
+    fidelity.Expectation(
+        "saving_at_smallest_scale",
+        0.5,
+        abs_tol=0.001,
+        source="Extension: case-study scale reproduces the 50% saving",
+    ),
+    fidelity.Expectation(
+        "saving_at_largest_scale",
+        0.55,
+        op="ge",
+        abs_tol=0.05,
+        source="Extension: multiplexing gain grows with scale",
+    ),
+    fidelity.Expectation(
+        "multiplexing_strengthens",
+        True,
+        op="bool",
+        source="Extension: saving is monotone in scale",
+    ),
+    fidelity.Expectation(
+        "paper_estimate_optimistic_everywhere",
+        True,
+        op="bool",
+        source="Extension: fixed-point loss >= paper estimate at every scale",
+    ),
+)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import format_kv, format_table
+from ..obs import fidelity
 from ..queueing.erlang import erlang_b, min_servers
 from ..queueing.poisson import poisson_arrivals
 from ..simulation.loss_network import simulate_loss_system
@@ -113,3 +114,27 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the Erlang sizing holds for Poisson traffic
+# and is overrun by burstier WAN arrival processes.
+fidelity.declare_expectations(
+    "ext-wan",
+    fidelity.Expectation(
+        "poisson_matches_erlang",
+        True,
+        op="bool",
+        source="Extension: DES under Poisson reproduces Erlang B",
+    ),
+    fidelity.Expectation(
+        "burstier_traffic_blocks_more",
+        True,
+        op="bool",
+        source="Extension: loss ordered by burstiness",
+    ),
+    fidelity.Expectation(
+        "lrd_loss_over_erlang",
+        1.5,
+        op="ge",
+        abs_tol=0.2,
+        source="Extension: LRD traffic overshoots the Erlang sizing",
+    ),
+)

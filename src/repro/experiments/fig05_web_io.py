@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.regression import fit_line
 from ..analysis.report import format_kv, format_series
+from ..obs import fidelity
 from ..virtualization.impact import WEB_DISK_IO_IMPACT
 from ..workloads.httperf import RateSweep
 from ..workloads.specweb import SPECWEB_FILESET, WebServiceModel
@@ -87,3 +88,17 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the refit must recover the published
+# regression I_io(v) = 1.082 - 0.012 v from the regenerated sweep.
+fidelity.declare_expectations(
+    "fig5",
+    fidelity.Expectation(
+        "fit_slope", -0.012, abs_tol=0.002, source="Fig. 5: slope of I_io(v)"
+    ),
+    fidelity.Expectation(
+        "fit_intercept", 1.082, abs_tol=0.01, source="Fig. 5: intercept of I_io(v)"
+    ),
+    fidelity.Expectation(
+        "fit_r2", 0.98, op="ge", source="Fig. 5: the linear model fits"
+    ),
+)

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..analysis.regression import fit_line
 from ..analysis.report import format_kv, format_series
+from ..obs import fidelity
 from ..virtualization.impact import WEB_CPU_IMPACT
 from ..workloads.httperf import RateSweep
 from ..workloads.specweb import SINGLE_FILE_8KB, WebServiceModel
@@ -84,3 +85,17 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the refit must recover the published
+# regression I_cpu(v) = 0.658 - 0.039 v from the regenerated sweep.
+fidelity.declare_expectations(
+    "fig6",
+    fidelity.Expectation(
+        "fit_slope", -0.039, abs_tol=0.002, source="Fig. 6: slope of I_cpu(v)"
+    ),
+    fidelity.Expectation(
+        "fit_intercept", 0.658, abs_tol=0.005, source="Fig. 6: intercept of I_cpu(v)"
+    ),
+    fidelity.Expectation(
+        "fit_r2", 0.99, op="ge", source="Fig. 6: the linear model fits"
+    ),
+)

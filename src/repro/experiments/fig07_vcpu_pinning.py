@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import format_kv, format_series, format_table
+from ..obs import fidelity
 from ..virtualization.hypervisor import FLOATING_EFFICIENCY, HostSpec, Hypervisor
 from ..virtualization.vm import VcpuPlacement, VirtualMachine
 from ..workloads.tpcw import DbServiceModel
@@ -89,3 +90,18 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: pinning the six DB vCPUs must clearly beat
+# floating placement, as in the paper's WIPS curves.
+fidelity.declare_expectations(
+    "fig7",
+    fidelity.Expectation(
+        "pinned_over_floating",
+        1.15,
+        op="ge",
+        abs_tol=0.05,
+        source="Fig. 7: pinned peak WIPS >= ~1.15x floating",
+    ),
+    fidelity.Expectation(
+        "db_vcpus_configured", 6, source="Fig. 7: DB VM runs 6 vCPUs"
+    ),
+)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import format_kv, format_series
+from ..obs import fidelity
 from ..queueing.erlang import erlang_b, max_load_for_blocking
 from ..queueing.mmn import mmn_delay_metrics
 from .base import ExperimentResult, register
@@ -116,3 +117,27 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the selected operating points must be
+# admissible and the M/M/n response-time model must track the DES.
+fidelity.declare_expectations(
+    "fig9",
+    fidelity.Expectation(
+        "db_selection_within_limit",
+        True,
+        op="bool",
+        source="Fig. 9: DB operating point below the WIPS limit",
+    ),
+    fidelity.Expectation(
+        "web_selection_within_limit",
+        True,
+        op="bool",
+        source="Fig. 9: web operating point admissible",
+    ),
+    fidelity.Expectation(
+        "response_time_sim_max_rel_err",
+        0.1,
+        op="le",
+        abs_tol=0.02,
+        source="Fig. 9: M/M/n response times track the DES within 10%",
+    ),
+)

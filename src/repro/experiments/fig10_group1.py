@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import format_kv, format_table
+from ..obs import fidelity
 from ..simulation.datacenter import DataCenterSimulation
 from .base import ExperimentResult, register
 from .casestudy import CaseStudyGroup, GROUP1
@@ -112,3 +113,28 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the measured consolidation must land on the
+# model's N=3 — the paper's 50%-server-saving headline for Group 1.
+fidelity.declare_expectations(
+    "fig10",
+    fidelity.Expectation(
+        "smallest_similar_N_measured", 3, source="Fig. 10: N=3 keeps Group 1 QoS"
+    ),
+    fidelity.Expectation(
+        "matches_model",
+        True,
+        op="bool",
+        source="Fig. 10: measurement agrees with the analytic N",
+    ),
+    fidelity.Expectation(
+        "servers_saved_fraction",
+        0.5,
+        source="Headline: consolidation halves the Group 1 fleet (50%)",
+    ),
+    fidelity.Expectation(
+        "N2_degraded",
+        True,
+        op="bool",
+        source="Fig. 10: N=2 visibly degrades throughput",
+    ),
+)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..core import ResourceKind, UtilityAnalyticModel, utilization_report
+from ..obs import fidelity
 from ..simulation.datacenter import DataCenterSimulation
 from .base import ExperimentResult, register
 from .casestudy import GROUP2
@@ -83,3 +84,28 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: QoS survives consolidation and CPU
+# utilization improves by at least the paper's 1.7x headline.
+fidelity.declare_expectations(
+    "fig11",
+    fidelity.Expectation(
+        "qos_preserved",
+        True,
+        op="bool",
+        source="Fig. 11: consolidation preserves Group 2 QoS",
+    ),
+    fidelity.Expectation(
+        "cpu_util_improvement_measured",
+        1.7,
+        op="ge",
+        abs_tol=0.1,
+        source="Headline: measured CPU utilization improves >= 1.7x",
+    ),
+    fidelity.Expectation(
+        "cpu_util_improvement_model",
+        1.5,
+        op="ge",
+        abs_tol=0.1,
+        source="Fig. 11: the model predicts >= 1.5x",
+    ),
+)

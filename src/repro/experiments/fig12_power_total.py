@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import format_kv, format_table
+from ..obs import fidelity
 from ..simulation.datacenter import DataCenterSimulation
 from .base import ExperimentResult, register
 from .casestudy import GROUP2
@@ -96,3 +97,31 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+# Paper-fidelity expectations: the 53%-power and 50%-server headlines,
+# plus the measured Xen idle-power discount behind the model.
+fidelity.declare_expectations(
+    "fig12",
+    fidelity.Expectation(
+        "power_saving_fraction",
+        0.53,
+        rel_tol=0.05,
+        source="Headline: total power drops ~53%",
+    ),
+    fidelity.Expectation(
+        "server_reduction_fraction",
+        0.5,
+        source="Headline: 50% fewer servers",
+    ),
+    fidelity.Expectation(
+        "xen_idle_saving_per_server",
+        0.09,
+        abs_tol=0.01,
+        source="Fig. 12: Xen idles ~9% below native Linux",
+    ),
+    fidelity.Expectation(
+        "busy_increase_below_17pct",
+        True,
+        op="bool",
+        source="Fig. 12: busy draw stays within ~17% of idle",
+    ),
+)

@@ -9,14 +9,22 @@ instrumentation layer (:mod:`repro.obs`) and export a Prometheus-format
 metric snapshot / a JSONL event trace after the run.  Every observed run
 also writes a deterministic run manifest (canonical inputs hash, seed,
 model version, wall time, metric snapshot) next to the results: in
-``--output`` when given, else beside the metric/trace/profile files, else
-under ``results/`` for ``--full`` runs.
+``--output`` when given, else beside the metric/trace/profile/report
+files, else under ``results/`` for ``--full`` runs.
 
 ``--profile-out FILE`` profiles every experiment span (cProfile +
 tracemalloc) and dumps one accumulated top-N hotspot report; ``--progress``
 prints heartbeat lines to stderr during long sweeps — completed/total,
 ETA, trace-event deltas, and a stall warning when nothing has moved within
 the stall window.
+
+Fidelity: every observed run grades its results against the paper-expected
+values each experiment module declares (``repro.obs.fidelity``), prints the
+scoreboard, and appends a ``FIDELITY_<date>_<sha>.json`` artifact next to
+the manifest; ``--fail-on-fidelity`` turns a ``fail`` verdict into exit
+code 1 (the CI push gate).  ``--report-out FILE`` additionally renders the
+whole run — manifest, metrics, trace, bench trend, fidelity scoreboard,
+experiment summaries — into one self-contained HTML report.
 """
 
 from __future__ import annotations
@@ -32,11 +40,20 @@ from ..obs import (
     ProgressReporter,
     SpanProfiler,
     TraceLog,
+    build_fidelity_artifact,
     build_manifest,
+    collect_bench_docs,
+    compare_artifacts,
+    evaluate_summaries,
+    load_artifact,
+    render_report,
     scoped_registry,
     scoped_trace,
+    scoreboard_table,
+    write_fidelity_artifact,
     write_manifest,
     write_prometheus,
+    write_report,
     write_trace_jsonl,
 )
 
@@ -80,9 +97,15 @@ def _manifest_dir(args) -> Path | None:
         return Path(args.trace_out).parent
     if args.profile_out:
         return Path(args.profile_out).parent
+    if args.report_out:
+        return Path(args.report_out).parent
     if args.full:
         return Path("results")
     return None
+
+
+#: Committed bench baseline the report compares the newest artifact against.
+_BENCH_BASELINE = Path("benchmarks/baselines/BENCH_baseline.json")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -139,6 +162,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="SECONDS",
         help="heartbeat period for --progress (default: 5s)",
     )
+    parser.add_argument(
+        "--report-out",
+        metavar="FILE",
+        help="render the run (manifest, metrics, trace, bench trend, "
+        "fidelity scoreboard, summaries) into one self-contained HTML file",
+    )
+    parser.add_argument(
+        "--fail-on-fidelity",
+        action="store_true",
+        help="exit 1 when any fidelity verdict is 'fail' (CI push gate)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -164,6 +198,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         else None
     )
 
+    results_by_name: dict[str, object] = {}
+
     def run() -> None:
         for name in names:
             fn = get_experiment(name)
@@ -178,6 +214,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     span_fields["rows"] = len(result.rows)
             else:
                 result = fn(seed=args.seed, fast=not args.full)
+            results_by_name[name] = result
             if reporter is not None:
                 reporter.advance(name)
             print("=" * 72)
@@ -203,8 +240,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         run()
     wall_time = perf_counter() - t0
 
-    if observed:
-        try:
+    # Grade the run against the paper-expected values declared next to
+    # each experiment, and show the scoreboard with the results.
+    scoreboard = evaluate_summaries(
+        {name: result.summary for name, result in results_by_name.items()}
+    )
+    if scoreboard.verdicts:
+        print(scoreboard_table(scoreboard))
+    fidelity_doc = build_fidelity_artifact(
+        scoreboard,
+        extra={"inputs": {"seed": args.seed, "full": bool(args.full)}},
+    )
+
+    manifest = None
+    try:
+        if observed:
             if args.metrics_out:
                 write_prometheus(registry, args.metrics_out)
             if args.trace_out:
@@ -228,9 +278,63 @@ def main(argv: Sequence[str] | None = None) -> int:
                     manifest, Path(manifest_dir) / "run_manifest.json"
                 )
                 print(f"run manifest: {manifest_path}", file=sys.stderr)
-        except OSError as exc:
-            print(f"error: cannot write observability output: {exc}", file=sys.stderr)
-            return 1
+        if manifest_dir is not None and scoreboard.verdicts:
+            fidelity_path = write_fidelity_artifact(fidelity_doc, manifest_dir)
+            print(
+                f"fidelity: {scoreboard.overall} -> {fidelity_path}",
+                file=sys.stderr,
+            )
+        if args.report_out:
+            bench_dirs = [manifest_dir] if manifest_dir is not None else []
+            bench_dirs.append(_BENCH_BASELINE.parent)
+            bench_docs = collect_bench_docs(bench_dirs)
+            bench_comparison = None
+            if bench_docs and _BENCH_BASELINE.exists():
+                try:
+                    bench_comparison = compare_artifacts(
+                        load_artifact(_BENCH_BASELINE), bench_docs[-1]
+                    ).to_doc()
+                except ValueError:
+                    pass  # foreign baseline: trend still renders
+            trace_events = (
+                [
+                    {"ts": e.ts, "kind": e.kind, "name": e.name, **e.fields}
+                    for e in trace.events()
+                ]
+                if trace is not None
+                else None
+            )
+            report_path = write_report(
+                render_report(
+                    title="repro-experiments run report",
+                    manifest=manifest,
+                    metrics=registry.snapshot() if registry is not None else None,
+                    trace_events=trace_events,
+                    bench_docs=bench_docs,
+                    bench_comparison=bench_comparison,
+                    fidelity_doc=fidelity_doc,
+                    results=[
+                        {
+                            "experiment": r.experiment,
+                            "title": r.title,
+                            "summary": dict(r.summary),
+                        }
+                        for _, r in sorted(results_by_name.items())
+                    ],
+                ),
+                args.report_out,
+            )
+            print(f"report: {report_path}", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: cannot write observability output: {exc}", file=sys.stderr)
+        return 1
+    if args.fail_on_fidelity and scoreboard.overall == "fail":
+        print(
+            f"error: fidelity gate failed — {len(scoreboard.fails)} "
+            "metric(s) outside the drift band",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

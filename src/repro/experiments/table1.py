@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..analysis.report import format_kv, format_table
 from ..core import UtilityAnalyticModel, utilization_report
+from ..obs import fidelity
 from .base import ExperimentResult, register
 from .casestudy import GROUPS, case_study_inputs
 
@@ -87,3 +88,21 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
     )
+
+
+# Paper-fidelity expectations, graded by `repro.obs.fidelity` after each
+# observed run.  Table I's verification groups are exact integers — zero
+# tolerance: any change to the model's N is a reproduction break.
+fidelity.declare_expectations(
+    "table1",
+    fidelity.Expectation("group1_M", 6, source="Table I: Group 1, M = 6"),
+    fidelity.Expectation("group1_N", 3, source="Table I: Group 1, N = 3"),
+    fidelity.Expectation("group2_M", 8, source="Table I: Group 2, M = 8"),
+    fidelity.Expectation("group2_N", 4, source="Table I: Group 2, N = 4"),
+    fidelity.Expectation(
+        "group1_matches_paper", True, op="bool", source="Table I: M=6 -> N=3"
+    ),
+    fidelity.Expectation(
+        "group2_matches_paper", True, op="bool", source="Table I: M=8 -> N=4"
+    ),
+)

@@ -41,16 +41,39 @@ from .compare import (
     load_artifact,
     verdict_table,
 )
+from .envinfo import (
+    FINGERPRINT_KEYS,
+    append_only_artifact_path,
+    detect_git_sha,
+    environment_fingerprint,
+)
 from .export import (
     MANIFEST_SCHEMA,
     build_manifest,
-    environment_fingerprint,
     inputs_hash,
     prometheus_text,
     write_manifest,
     write_prometheus,
     write_trace_jsonl,
 )
+from .fidelity import (
+    FIDELITY_SCHEMA,
+    Expectation,
+    MetricVerdict,
+    Scoreboard,
+    build_fidelity_artifact,
+    check_expectations,
+    declare_expectations,
+    declared_experiments,
+    evaluate_summaries,
+    expectations_for,
+    load_fidelity_artifact,
+    load_results_summaries,
+    scoreboard_table,
+    validate_fidelity_artifact,
+    write_fidelity_artifact,
+)
+from .report import collect_bench_docs, render_report, write_report
 from .profileutil import PROFILE_SCHEMA, SpanProfiler
 from .progress import ProgressReporter
 from .registry import (
@@ -120,4 +143,28 @@ __all__ = [
     "PROFILE_SCHEMA",
     "SpanProfiler",
     "ProgressReporter",
+    # provenance
+    "FINGERPRINT_KEYS",
+    "append_only_artifact_path",
+    "detect_git_sha",
+    # fidelity scoreboard
+    "FIDELITY_SCHEMA",
+    "Expectation",
+    "MetricVerdict",
+    "Scoreboard",
+    "declare_expectations",
+    "declared_experiments",
+    "expectations_for",
+    "check_expectations",
+    "evaluate_summaries",
+    "load_results_summaries",
+    "build_fidelity_artifact",
+    "validate_fidelity_artifact",
+    "write_fidelity_artifact",
+    "load_fidelity_artifact",
+    "scoreboard_table",
+    # html report
+    "render_report",
+    "collect_bench_docs",
+    "write_report",
 ]

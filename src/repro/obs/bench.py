@@ -30,7 +30,6 @@ import importlib.util
 import inspect
 import math
 import statistics
-import subprocess
 import sys
 import tracemalloc
 from dataclasses import dataclass, field
@@ -41,7 +40,8 @@ from pathlib import Path
 from time import perf_counter, process_time
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from .export import environment_fingerprint, inputs_hash
+from .envinfo import append_only_artifact_path, detect_git_sha, environment_fingerprint
+from .export import inputs_hash
 from .trace import get_trace
 
 __all__ = [
@@ -374,21 +374,6 @@ def run_specs(
     return results
 
 
-def detect_git_sha(short: int = 10) -> str:
-    """Short git SHA of HEAD, or ``"nogit"`` outside a repository."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", f"--short={short}", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10.0,
-            check=True,
-        )
-        return out.stdout.strip() or "nogit"
-    except (OSError, subprocess.SubprocessError):
-        return "nogit"
-
-
 def _result_doc(result: BenchResult) -> dict[str, Any]:
     return {
         "name": result.name,
@@ -537,14 +522,7 @@ def write_artifact(doc: Mapping[str, Any], out_dir: str | Path = ".") -> Path:
     import json
 
     validate_artifact(doc)
-    out_dir = Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
     day = str(doc["created_utc"])[:10].replace("-", "")
-    stem = f"BENCH_{day}_{doc['git_sha']}"
-    path = out_dir / f"{stem}.json"
-    serial = 1
-    while path.exists():
-        serial += 1
-        path = out_dir / f"{stem}_{serial}.json"
+    path = append_only_artifact_path(out_dir, f"BENCH_{day}_{doc['git_sha']}")
     path.write_text(json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n")
     return path

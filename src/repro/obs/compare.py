@@ -72,12 +72,16 @@ class Comparison:
         return "regression" if self.regressions else "no regression"
 
     def to_doc(self) -> dict[str, Any]:
-        """JSON-serialisable comparison document."""
+        """JSON-serialisable comparison document (``repro-bench compare --json``)."""
+        counts = {v: 0 for v in VERDICTS}
+        for d in self.deltas:
+            counts[d.verdict] += 1
         return {
             "schema": "repro.bench-compare/v1",
             "metric": self.metric,
             "threshold": self.threshold,
             "verdict": self.verdict,
+            "counts": counts,
             "deltas": [
                 {
                     "name": d.name,

@@ -1,0 +1,107 @@
+"""Shared provenance helpers: environment fingerprint, git SHA, artifact paths.
+
+Every provenance-bearing artifact this repo writes — run manifests
+(``repro.run-manifest/v1``), bench trajectory points (``repro.bench/v1``),
+and fidelity scoreboards (``repro.fidelity/v1``) — must be attributable to
+a concrete environment and commit.  Keeping the fingerprint in one module
+guarantees all three artifact families carry the *identical* schema
+(:data:`FINGERPRINT_KEYS`), so cross-artifact joins ("was this FIDELITY
+point recorded on the same box as that BENCH point?") are a dict
+comparison, not a field-mapping exercise.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "FINGERPRINT_KEYS",
+    "environment_fingerprint",
+    "detect_git_sha",
+    "append_only_artifact_path",
+]
+
+#: Exact key set of :func:`environment_fingerprint` — artifact schema tests
+#: assert against this, so extending the fingerprint is a one-line change
+#: that every artifact family picks up at once.
+FINGERPRINT_KEYS = (
+    "python",
+    "implementation",
+    "platform",
+    "machine",
+    "cpu_count",
+    "git_sha",
+    "numpy",
+    "scipy",
+)
+
+
+@lru_cache(maxsize=None)
+def _git_sha(short: int) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", f"--short={short}", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=True,
+        )
+        return out.stdout.strip() or "nogit"
+    except (OSError, subprocess.SubprocessError):
+        return "nogit"
+
+
+def detect_git_sha(short: int = 10) -> str:
+    """Short git SHA of HEAD, or ``"nogit"`` outside a repository.
+
+    Cached per process — HEAD does not move under a running tool, and the
+    fingerprint is taken once per artifact.
+    """
+    return _git_sha(short)
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where a run happened: interpreter, platform, commit, numeric stack.
+
+    Shared by run manifests, bench artifacts, and fidelity scoreboards so
+    performance *and* accuracy numbers are always attributable to a
+    concrete environment.  Keys are exactly :data:`FINGERPRINT_KEYS`.
+    """
+    fingerprint: dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": detect_git_sha(),
+    }
+    for module in ("numpy", "scipy"):
+        try:
+            fingerprint[module] = __import__(module).__version__
+        except Exception:  # pragma: no cover - numpy/scipy are baked in
+            fingerprint[module] = None
+    return fingerprint
+
+
+def append_only_artifact_path(
+    out_dir: str | Path, stem: str, suffix: str = ".json"
+) -> Path:
+    """First free ``<out_dir>/<stem><suffix>`` path, creating ``out_dir``.
+
+    A same-day same-commit rerun gets a ``_2``/``_3``… serial rather than
+    overwriting the earlier file — trajectory points (BENCH, FIDELITY) are
+    append-only by contract.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{stem}{suffix}"
+    serial = 1
+    while path.exists():
+        serial += 1
+        path = out_dir / f"{stem}_{serial}{suffix}"
+    return path

@@ -12,11 +12,10 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
-import platform
 from pathlib import Path
 from typing import Any, Mapping
 
+from .envinfo import environment_fingerprint
 from .registry import MetricsRegistry, NullRegistry
 from .trace import NullTraceLog, TraceLog
 
@@ -117,27 +116,6 @@ def inputs_hash(inputs: Mapping[str, Any]) -> str:
         inputs, sort_keys=True, separators=(",", ":"), default=str
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def environment_fingerprint() -> dict[str, Any]:
-    """Where a run happened: interpreter, platform, and numeric-stack versions.
-
-    Shared by run manifests and bench artifacts so performance numbers are
-    always attributable to a concrete environment.
-    """
-    fingerprint: dict[str, Any] = {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "cpu_count": os.cpu_count(),
-    }
-    for module in ("numpy", "scipy"):
-        try:
-            fingerprint[module] = __import__(module).__version__
-        except Exception:  # pragma: no cover - numpy/scipy are baked in
-            fingerprint[module] = None
-    return fingerprint
 
 
 def _model_version() -> str:

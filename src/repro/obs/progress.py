@@ -155,6 +155,26 @@ class ProgressReporter:
         if idle > self.stall_after_s and new_events == 0:
             self.stalls += 1
             parts.append(f"STALL no activity for {idle:.1f}s")
+            # Make the stall durable: a trace warning lands in the JSONL
+            # export / span tree, and a counter lands in the manifest's
+            # metric snapshot — stderr alone evaporates with the terminal.
+            if self.trace is not None:
+                self.trace.emit(
+                    "stall",
+                    kind="warning",
+                    idle_s=round(idle, 1),
+                    done=done,
+                    total=self.total,
+                    last_item=last_item,
+                )
+                # The stall event itself must not read as fresh activity on
+                # the next beat (that would suppress every second warning).
+                self._last_emitted = self.trace.emitted
+            if self.registry is not None:
+                self.registry.counter(
+                    "progress_stalls_total",
+                    help="heartbeats that found no activity in the stall window",
+                ).inc()
         line = " · ".join(parts)
         self._emit(line)
         return line

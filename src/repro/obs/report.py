@@ -1,0 +1,686 @@
+"""Self-contained HTML run reports fusing every observability artifact.
+
+PR 1 and PR 2 left the telemetry scattered across files a reviewer has to
+join by hand: ``run_manifest.json``, a Prometheus snapshot, a JSONL trace,
+``BENCH_*.json`` trajectory points, and now ``FIDELITY_*.json``
+scoreboards.  This module renders them into **one** ``report.html`` —
+dependency-free, no JavaScript, no external assets, figures as inline SVG
+sparklines — that answers, on open: did this run reproduce the paper, how
+fast was it, what did it execute, and on which machine?
+
+Entry points:
+
+- :func:`render_report` — pure renderer over already-loaded documents;
+- :func:`main` — the ``repro-report`` CLI, which assembles a report from
+  on-disk artifacts without re-running anything;
+- ``repro-experiments --report-out FILE`` builds the same report from the
+  live run (see :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .compare import compare_artifacts, load_artifact
+from .fidelity import (
+    build_fidelity_artifact,
+    evaluate_summaries,
+    load_fidelity_artifact,
+    load_results_summaries,
+)
+
+__all__ = ["render_report", "collect_bench_docs", "write_report", "main"]
+
+_CSS = """
+body { font-family: -apple-system, "Segoe UI", Helvetica, Arial, sans-serif;
+       margin: 2em auto; max-width: 70em; padding: 0 1em; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .2em; }
+h2 { margin-top: 2em; border-bottom: 1px solid #bbb; padding-bottom: .15em; }
+table { border-collapse: collapse; margin: .8em 0; font-size: .92em; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
+th { background: #f0f0f0; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.badge { display: inline-block; padding: .05em .55em; border-radius: .8em;
+         font-size: .85em; font-weight: 600; color: #fff; }
+.badge-match { background: #1a7f37; }
+.badge-drift { background: #b58900; }
+.badge-fail { background: #c0392b; }
+.badge-regression { background: #c0392b; }
+.badge-improvement { background: #1a7f37; }
+.badge-unchanged, .badge-added, .badge-removed, .badge-error,
+.badge-info { background: #6c757d; }
+.muted { color: #666; font-size: .9em; }
+.mono { font-family: ui-monospace, "SF Mono", Menlo, Consolas, monospace;
+        font-size: .88em; }
+details > summary { cursor: default; font-weight: 600; margin: .4em 0; }
+ul.tree { list-style: none; padding-left: 1.2em; margin: .3em 0; }
+ul.tree li { margin: .12em 0; }
+svg.spark { vertical-align: middle; }
+.warnbox { background: #fff6e0; border: 1px solid #e0c060;
+           padding: .4em .8em; border-radius: .3em; margin: .5em 0; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        return f"{value:.5g}"
+    return str(value)
+
+
+def _badge(verdict: str) -> str:
+    cls = verdict if verdict in (
+        "match", "drift", "fail", "regression", "improvement",
+        "unchanged", "added", "removed", "error",
+    ) else "info"
+    return f'<span class="badge badge-{cls}">{_esc(verdict)}</span>'
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Rows are pre-rendered (possibly HTML) cell strings."""
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _kv_table(pairs: Mapping[str, Any]) -> str:
+    return _table(
+        ("key", "value"),
+        [(_esc(k), f'<span class="mono">{_esc(_fmt(v))}</span>')
+         for k, v in pairs.items()],
+    )
+
+
+def _sparkline(
+    values: Sequence[float], width: int = 120, height: int = 26
+) -> str:
+    """Inline SVG polyline over ``values`` (min-max normalised)."""
+    pts = [float(v) for v in values if v == v]
+    if len(pts) < 2:
+        return '<span class="muted">–</span>'
+    lo, hi = min(pts), max(pts)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    step = (width - 2 * pad) / (len(pts) - 1)
+    coords = " ".join(
+        f"{pad + i * step:.1f},{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(pts)
+    )
+    last_y = height - pad - (pts[-1] - lo) / span * (height - 2 * pad)
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline points="{coords}" fill="none" stroke="#2a6fb0" '
+        f'stroke-width="1.5"/>'
+        f'<circle cx="{pad + (len(pts) - 1) * step:.1f}" cy="{last_y:.1f}" '
+        f'r="2.2" fill="#2a6fb0"/></svg>'
+    )
+
+
+# -- sections ------------------------------------------------------------------
+
+
+def _section_fidelity(fidelity_doc: Mapping[str, Any] | None) -> str:
+    out = ["<h2>Fidelity scoreboard</h2>"]
+    if not fidelity_doc:
+        out.append('<p class="muted">No fidelity data available.</p>')
+        return "".join(out)
+    counts = fidelity_doc.get("counts", {})
+    out.append(
+        f"<p>Overall: {_badge(fidelity_doc['overall'])} "
+        f'<span class="muted">({counts.get("match", "?")} match, '
+        f'{counts.get("drift", "?")} drift, {counts.get("fail", "?")} fail '
+        f"— paper-expected values vs this run, within declared "
+        f"tolerances)</span></p>"
+    )
+    rows = []
+    for v in fidelity_doc.get("verdicts", []):
+        rows.append(
+            (
+                _esc(v["experiment"]),
+                _esc(v["metric"]),
+                f'<span class="mono">{_esc(_fmt(v["expected"]))}</span>',
+                f'<span class="mono">{_esc(_fmt(v.get("actual")))}</span>',
+                _esc(v.get("op", "approx")),
+                f'<span class="mono">{_esc(_fmt(v.get("tolerance")))}</span>',
+                _badge(v["verdict"]),
+                f'<span class="muted">{_esc(v.get("source", ""))}</span>',
+            )
+        )
+    out.append(
+        _table(
+            ("experiment", "metric", "expected", "actual", "op",
+             "tolerance", "verdict", "source"),
+            rows,
+        )
+    )
+    return "".join(out)
+
+
+def _section_manifest(manifest: Mapping[str, Any] | None) -> str:
+    out = ["<h2>Run manifest</h2>"]
+    if not manifest:
+        out.append('<p class="muted">No run manifest available.</p>')
+        return "".join(out)
+    head = {
+        "schema": manifest.get("schema"),
+        "model_version": manifest.get("model_version"),
+        "seed": manifest.get("seed"),
+        "wall_time_s": manifest.get("wall_time_s"),
+        "inputs_hash": manifest.get("inputs_hash"),
+    }
+    out.append(_kv_table(head))
+    inputs = manifest.get("inputs")
+    if inputs:
+        out.append("<h3>Inputs</h3>")
+        out.append(_kv_table(inputs))
+    env = manifest.get("environment")
+    if env:
+        out.append("<h3>Environment fingerprint</h3>")
+        out.append(_kv_table(env))
+    return "".join(out)
+
+
+def _metric_value_cell(kind: str, value: Any) -> str:
+    if isinstance(value, Mapping):  # histogram / timer snapshot
+        text = ", ".join(f"{k}={_fmt(v)}" for k, v in value.items())
+        return f'<span class="mono">{_esc(text)}</span>'
+    return f'<span class="mono">{_esc(_fmt(value))}</span>'
+
+
+def _section_metrics(metrics: Mapping[str, Any] | None) -> str:
+    out = ["<h2>Metrics</h2>"]
+    if not metrics:
+        out.append('<p class="muted">No metric snapshot available.</p>')
+        return "".join(out)
+    rows = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        kind = family.get("kind", "?")
+        for series in family.get("series", []):
+            labels = series.get("labels") or {}
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            rows.append(
+                (
+                    f'<span class="mono">{_esc(name)}</span>',
+                    _esc(kind),
+                    f'<span class="mono">{_esc(label_text)}</span>',
+                    _metric_value_cell(kind, series.get("value")),
+                )
+            )
+    out.append(_table(("family", "kind", "labels", "value"), rows))
+    return "".join(out)
+
+
+def _span_tree(events: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Nest ``span_begin``/``span_end`` event pairs by emission order."""
+    roots: list[dict[str, Any]] = []
+    stack: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span_begin":
+            node = {
+                "name": event.get("name", "?"),
+                "fields": {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("ts", "kind", "name", "span")
+                },
+                "duration_s": None,
+                "children": [],
+            }
+            (stack[-1]["children"] if stack else roots).append(node)
+            stack.append(node)
+        elif kind == "span_end" and stack:
+            node = stack.pop()
+            node["duration_s"] = event.get("duration_s")
+            node["fields"].update(
+                {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("ts", "kind", "name", "span", "duration_s")
+                }
+            )
+    return roots
+
+
+def _render_tree(nodes: Sequence[Mapping[str, Any]]) -> str:
+    items = []
+    for node in nodes:
+        duration = node.get("duration_s")
+        dur = f" — {float(duration) * 1e3:.1f} ms" if duration is not None else ""
+        fields = node.get("fields") or {}
+        field_text = ", ".join(f"{k}={_fmt(v)}" for k, v in fields.items())
+        label = (
+            f'<span class="mono">{_esc(node["name"])}</span>'
+            f'<span class="muted">{_esc(dur)}'
+            + (f" ({_esc(field_text)})" if field_text else "")
+            + "</span>"
+        )
+        children = node.get("children") or []
+        items.append(
+            "<li>" + label + (_render_tree(children) if children else "") + "</li>"
+        )
+    return '<ul class="tree">' + "".join(items) + "</ul>"
+
+
+def _section_trace(
+    trace_events: Sequence[Mapping[str, Any]] | None,
+    trace_stats: Mapping[str, Any] | None,
+) -> str:
+    out = ["<h2>Trace summary</h2>"]
+    if trace_stats:
+        dropped = trace_stats.get("dropped", 0)
+        out.append(_kv_table(trace_stats))
+        if dropped:
+            out.append(
+                f'<div class="warnbox">⚠ the trace ring dropped {dropped} '
+                f"event(s): the oldest events are missing from this "
+                f"summary (capacity "
+                f"{_esc(trace_stats.get('capacity', '?'))}).</div>"
+            )
+    if not trace_events:
+        if not trace_stats:
+            out.append('<p class="muted">No trace available.</p>')
+        return "".join(out)
+    by_kind: dict[str, int] = {}
+    for event in trace_events:
+        kind = str(event.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    out.append(
+        "<p>"
+        + ", ".join(f"{n} × {_esc(k)}" for k, n in sorted(by_kind.items()))
+        + "</p>"
+    )
+    warnings = [e for e in trace_events if e.get("kind") == "warning"]
+    if warnings:
+        out.append(
+            f'<div class="warnbox">⚠ {len(warnings)} warning event(s): '
+            + "; ".join(
+                _esc(
+                    w.get("name", "?")
+                    + " "
+                    + json.dumps(
+                        {k: v for k, v in w.items() if k not in ("ts", "kind", "name")},
+                        default=str,
+                    )
+                )
+                for w in warnings[:10]
+            )
+            + "</div>"
+        )
+    roots = _span_tree(trace_events)
+    if roots:
+        out.append("<h3>Span tree</h3>")
+        out.append(_render_tree(roots))
+    return "".join(out)
+
+
+def _section_bench(
+    bench_docs: Sequence[Mapping[str, Any]],
+    bench_comparison: Mapping[str, Any] | None,
+) -> str:
+    out = ["<h2>Performance trajectory</h2>"]
+    if not bench_docs:
+        out.append(
+            '<p class="muted">No BENCH_*.json artifacts found — run '
+            "<span class=\"mono\">repro-bench run</span> to record one.</p>"
+        )
+        return "".join(out)
+    docs = sorted(bench_docs, key=lambda d: str(d.get("created_utc", "")))
+    latest = docs[-1]
+    out.append(
+        f'<p class="muted">{len(docs)} artifact(s); latest '
+        f"{_esc(latest.get('created_utc'))} @ {_esc(latest.get('git_sha'))}.</p>"
+    )
+    # Trajectory: per-benchmark median series across artifacts, oldest first.
+    series: dict[str, list[float]] = {}
+    for doc in docs:
+        for entry in doc.get("benchmarks", []):
+            if entry.get("ok"):
+                median = (entry.get("wall_s") or {}).get("median")
+                if median is not None:
+                    series.setdefault(entry["name"], []).append(float(median))
+    rows = []
+    for entry in latest.get("benchmarks", []):
+        name = entry["name"]
+        if not entry.get("ok"):
+            rows.append(
+                (
+                    f'<span class="mono">{_esc(name)}</span>',
+                    _badge("error"),
+                    _esc(entry.get("error", "")),
+                    "",
+                )
+            )
+            continue
+        median = (entry.get("wall_s") or {}).get("median")
+        med = f"{float(median) * 1e3:.2f} ms" if median is not None else "–"
+        rows.append(
+            (
+                f'<span class="mono">{_esc(name)}</span>',
+                f'<span class="mono">{_esc(med)}</span>',
+                _esc(entry.get("group", "")),
+                _sparkline(series.get(name, ())),
+            )
+        )
+    out.append(_table(("benchmark", "wall median", "group", "trend"), rows))
+    if bench_comparison:
+        out.append("<h3>Comparison vs baseline</h3>")
+        out.append(
+            f"<p>Verdict: {_badge(bench_comparison.get('verdict', '?'))} "
+            f'<span class="muted">(±{100.0 * float(bench_comparison.get("threshold", 0)):.0f}% '
+            f"band on median {_esc(bench_comparison.get('metric', '?'))})</span></p>"
+        )
+        cmp_rows = []
+        for delta in bench_comparison.get("deltas", []):
+            rel = delta.get("rel_change")
+            cmp_rows.append(
+                (
+                    f'<span class="mono">{_esc(delta["name"])}</span>',
+                    _esc(_fmt(delta.get("base_median_s"))),
+                    _esc(_fmt(delta.get("new_median_s"))),
+                    _esc(f"{100.0 * rel:+.1f}%" if isinstance(rel, float) else "–"),
+                    _badge(delta.get("verdict", "?")),
+                )
+            )
+        out.append(
+            _table(("benchmark", "base median s", "new median s", "delta", "verdict"),
+                   cmp_rows)
+        )
+    return "".join(out)
+
+
+def _section_results(results: Sequence[Mapping[str, Any]]) -> str:
+    out = ["<h2>Experiment results</h2>"]
+    if not results:
+        out.append('<p class="muted">No experiment summaries available.</p>')
+        return "".join(out)
+    for result in results:
+        name = result.get("experiment", "?")
+        title = result.get("title", "")
+        out.append(
+            f"<details open><summary><span class=\"mono\">{_esc(name)}</span> "
+            f"— {_esc(title)}</summary>"
+        )
+        out.append(_kv_table(result.get("summary") or {}))
+        out.append("</details>")
+    return "".join(out)
+
+
+# -- assembly ------------------------------------------------------------------
+
+
+def render_report(
+    *,
+    title: str = "repro run report",
+    manifest: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    trace_events: Sequence[Mapping[str, Any]] | None = None,
+    trace_stats: Mapping[str, Any] | None = None,
+    bench_docs: Sequence[Mapping[str, Any]] = (),
+    bench_comparison: Mapping[str, Any] | None = None,
+    fidelity_doc: Mapping[str, Any] | None = None,
+    results: Sequence[Mapping[str, Any]] = (),
+    generated_utc: str | None = None,
+) -> str:
+    """Render one self-contained HTML document over the given artifacts.
+
+    Every argument is optional; absent sections render a placeholder so the
+    report's structure is stable regardless of which artifacts exist.
+    ``metrics`` defaults to the manifest's snapshot, ``trace_stats`` to the
+    manifest's trace block.
+    """
+    if metrics is None and manifest:
+        metrics = manifest.get("metrics")
+    if trace_stats is None and manifest:
+        trace_stats = manifest.get("trace")
+    generated = generated_utc or datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    env = (manifest or {}).get("environment") or {}
+    subtitle_bits = [f"generated {generated}"]
+    if env.get("git_sha"):
+        subtitle_bits.append(f"commit {env['git_sha']}")
+    elif fidelity_doc and fidelity_doc.get("git_sha"):
+        subtitle_bits.append(f"commit {fidelity_doc['git_sha']}")
+    body = "".join(
+        (
+            f"<h1>{_esc(title)}</h1>",
+            f'<p class="muted">{_esc(" · ".join(subtitle_bits))}</p>',
+            _section_fidelity(fidelity_doc),
+            _section_manifest(manifest),
+            _section_metrics(metrics),
+            _section_trace(trace_events, trace_stats),
+            _section_bench(bench_docs, bench_comparison),
+            _section_results(results),
+        )
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        f"</head><body>\n{body}\n</body></html>\n"
+    )
+
+
+def collect_bench_docs(directories: Sequence[str | Path]) -> list[dict[str, Any]]:
+    """Load every valid ``BENCH_*.json`` under ``directories`` (sorted by date).
+
+    Invalid or foreign files are skipped — a report over a mixed artifact
+    directory must not abort on one corrupt trajectory point.
+    """
+    docs: list[dict[str, Any]] = []
+    seen: set[Path] = set()
+    for directory in directories:
+        directory = Path(directory)
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("BENCH_*.json")):
+            path = path.resolve()
+            if path in seen:
+                continue
+            seen.add(path)
+            try:
+                docs.append(load_artifact(path))
+            except (ValueError, OSError):
+                continue
+    return sorted(docs, key=lambda d: str(d.get("created_utc", "")))
+
+
+def write_report(text: str, path: str | Path) -> Path:
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def _load_json(path: Path) -> dict[str, Any] | None:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _load_trace_events(path: Path) -> list[dict[str, Any]]:
+    events = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict):
+            events.append(doc)
+    return events
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro-report`` — assemble ``report.html`` from on-disk artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Fuse run manifest, metrics, trace, BENCH trend, and "
+        "fidelity scoreboard into one self-contained HTML report — without "
+        "re-running any experiment.",
+    )
+    parser.add_argument(
+        "--results",
+        default="results/full",
+        metavar="DIR",
+        help="results directory holding <id>.json experiment artifacts "
+        "(default: results/full)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        help="run manifest (default: <results>/run_manifest.json when present)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="JSONL event trace to summarise"
+    )
+    parser.add_argument(
+        "--fidelity",
+        metavar="FILE",
+        help="FIDELITY_*.json to show (default: evaluate declared "
+        "expectations against the results directory)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        action="append",
+        metavar="DIR",
+        help="directories to scan for BENCH_*.json (repeatable; default: "
+        "<results> and benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="bench baseline artifact to compare the newest BENCH_*.json "
+        "against (default: benchmarks/baselines/BENCH_baseline.json when "
+        "present)",
+    )
+    parser.add_argument("--title", default="repro run report")
+    parser.add_argument(
+        "--out", default="report.html", metavar="FILE", help="output HTML path"
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(args.results)
+    try:
+        summaries = load_results_summaries(results_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: unreadable results artifact: {exc}", file=sys.stderr)
+        return 2
+
+    results = []
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name.startswith(("BENCH_", "FIDELITY_")):
+            continue
+        doc = _load_json(path)
+        if doc and isinstance(doc.get("experiment"), str) and "summary" in doc:
+            results.append(doc)
+
+    manifest = None
+    manifest_path = (
+        Path(args.manifest) if args.manifest else results_dir / "run_manifest.json"
+    )
+    if manifest_path.exists():
+        manifest = _load_json(manifest_path)
+        if manifest is None:
+            print(f"error: unreadable manifest: {manifest_path}", file=sys.stderr)
+            return 2
+    elif args.manifest:
+        print(f"error: no such manifest: {manifest_path}", file=sys.stderr)
+        return 2
+
+    trace_events = None
+    if args.trace:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            print(f"error: no such trace: {trace_path}", file=sys.stderr)
+            return 2
+        trace_events = _load_trace_events(trace_path)
+
+    if args.fidelity:
+        try:
+            fidelity_doc = load_fidelity_artifact(args.fidelity)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        fidelity_artifacts = sorted(results_dir.glob("FIDELITY_*.json"))
+        if fidelity_artifacts:
+            try:
+                fidelity_doc = load_fidelity_artifact(fidelity_artifacts[-1])
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            # Grade the on-disk summaries against the declared expectations.
+            # Importing the experiment registry pulls in every declaration.
+            from ..experiments import runner as _runner  # noqa: F401
+
+            fidelity_doc = build_fidelity_artifact(evaluate_summaries(summaries))
+
+    bench_dirs = args.bench_dir or [results_dir, Path("benchmarks/baselines")]
+    bench_docs = collect_bench_docs(bench_dirs)
+    bench_comparison = None
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else Path("benchmarks/baselines/BENCH_baseline.json")
+    )
+    if bench_docs and baseline_path.exists():
+        try:
+            baseline = load_artifact(baseline_path)
+            newest = bench_docs[-1]
+            bench_comparison = compare_artifacts(baseline, newest).to_doc()
+        except ValueError as exc:
+            print(f"warning: bench comparison skipped: {exc}", file=sys.stderr)
+    elif args.baseline:
+        print(f"error: no such baseline: {baseline_path}", file=sys.stderr)
+        return 2
+
+    text = render_report(
+        title=args.title,
+        manifest=manifest,
+        trace_events=trace_events,
+        bench_docs=bench_docs,
+        bench_comparison=bench_comparison,
+        fidelity_doc=fidelity_doc,
+        results=results,
+    )
+    try:
+        path = write_report(text, args.out)
+    except OSError as exc:
+        print(f"error: cannot write report to {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"report: {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -28,6 +28,9 @@ class TestFormatTable:
     def test_empty(self):
         assert "(no rows)" in format_table([])
 
+    def test_empty_rows_keep_title(self):
+        assert format_table([], title="T") == "T\n(no rows)"
+
     def test_float_formatting(self):
         text = format_table([{"x": 0.000012345, "y": 123456.0, "z": 0.5}])
         assert "e-05" in text
@@ -38,6 +41,25 @@ class TestFormatTable:
         text = format_table([{"x": float("nan"), "y": 0.0}])
         assert "nan" in text
         assert "0" in text
+
+    def test_magnitude_boundaries(self):
+        # Exactly 1e5 switches to scientific; just below stays fixed-point.
+        hi = format_table([{"x": 1e5}]).splitlines()[-1].strip()
+        assert hi == "1.000e+05"
+        below_hi = format_table([{"x": 99999.0}]).splitlines()[-1].strip()
+        assert "e+05" not in below_hi or below_hi == "1e+05"  # %.4g rounding
+        # Exactly 1e-3 stays fixed-point; just below switches to scientific.
+        lo = format_table([{"x": 1e-3}]).splitlines()[-1].strip()
+        assert lo == "0.001"
+        below_lo = format_table([{"x": 0.0009}]).splitlines()[-1].strip()
+        assert below_lo == "9.000e-04"
+
+    def test_negative_zero_renders_as_zero(self):
+        assert format_table([{"x": -0.0}]).splitlines()[-1].strip() == "0"
+
+    def test_numpy_scalars_format_like_floats(self):
+        text = format_table([{"x": np.float64(0.5), "n": float(np.nan)}])
+        assert "0.5" in text and "nan" in text
 
 
 class TestFormatSeries:

@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.experiments.runner import main
-from repro.obs import MANIFEST_SCHEMA, get_registry, get_trace, inputs_hash
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    get_registry,
+    get_trace,
+    inputs_hash,
+    load_fidelity_artifact,
+)
+from repro.obs import fidelity as fidelity_mod
 
 
 @pytest.fixture
@@ -91,6 +98,96 @@ class TestProfileOut:
         blocker = tmp_path / "blocker"
         blocker.write_text("")
         assert main(["table1", "--profile-out", str(blocker / "x" / "p.json")]) == 1
+        assert "cannot write observability output" in capsys.readouterr().err
+
+
+class TestFidelity:
+    def test_observed_run_writes_fidelity_artifact(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["table1", "--output", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "fidelity: match" in captured.out
+        artifacts = sorted(out.glob("FIDELITY_*.json"))
+        assert len(artifacts) == 1
+        doc = load_fidelity_artifact(artifacts[0])
+        assert doc["overall"] == "match"
+        assert doc["inputs"] == {"seed": 2009, "full": False}
+        assert {v["experiment"] for v in doc["verdicts"]} == {"table1"}
+
+    def test_rerun_appends_second_artifact(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["table1", "--output", str(out)]) == 0
+        assert main(["table1", "--output", str(out)]) == 0
+        capsys.readouterr()
+        assert len(list(out.glob("FIDELITY_*.json"))) == 2
+
+    def test_scoreboard_printed_without_artifacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1"]) == 0
+        assert "fidelity: match" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []  # unobserved: nothing written
+
+    def test_fail_on_fidelity_gates_exit_code(self, tmp_path, capsys, monkeypatch):
+        # Sneak an impossible expectation in so table1 grades as fail.
+        monkeypatch.setitem(
+            fidelity_mod._EXPECTATIONS,
+            "table1",
+            fidelity_mod.expectations_for("table1")
+            + (fidelity_mod.Expectation("group1_N", -1),),
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["table1"]) == 0  # report-only by default
+        assert main(["table1", "--fail-on-fidelity"]) == 1
+        assert "fidelity gate failed" in capsys.readouterr().err
+
+
+class TestReportOut:
+    def test_report_fuses_all_sections(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        report = out / "report.html"
+        code = main(
+            [
+                "table1",
+                "--output",
+                str(out),
+                "--trace-out",
+                str(out / "trace.jsonl"),
+                "--report-out",
+                str(report),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        html = report.read_text()
+        assert "Fidelity scoreboard" in html and "badge-match" in html
+        assert "repro.run-manifest/v1" in html  # manifest section
+        assert "model_solves_total" in html  # metric snapshot
+        assert "Span tree" in html  # live trace events
+        assert "group1_matches_paper" in html  # experiment summaries
+        assert "<script" not in html
+
+    def test_report_out_alone_enables_observability(self, tmp_path, capsys):
+        report = tmp_path / "sub" / "report.html"
+        assert main(["table1", "--report-out", str(report)]) == 0
+        capsys.readouterr()
+        assert report.exists()
+        # The report directory doubles as the manifest/fidelity fallback.
+        assert (tmp_path / "sub" / "run_manifest.json").exists()
+        assert list((tmp_path / "sub").glob("FIDELITY_*.json"))
+
+    def test_unwritable_report_path(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        code = main(
+            [
+                "table1",
+                "--output",
+                str(tmp_path / "out"),
+                "--report-out",
+                str(blocker / "x" / "report.html"),
+            ]
+        )
+        assert code == 1
         assert "cannot write observability output" in capsys.readouterr().err
 
 

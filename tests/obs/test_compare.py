@@ -142,6 +142,18 @@ class TestOutputs:
         assert doc["verdict"] == "no regression"
         assert doc["deltas"][0]["name"] == "a"
 
+    def test_to_doc_counts_every_verdict(self):
+        cmp = compare_artifacts(
+            _artifact([_entry("same", [1.0]), _entry("gone", [1.0])]),
+            _artifact([_entry("same", [1.0]), _entry("new", [1.0])]),
+        )
+        counts = cmp.to_doc()["counts"]
+        assert counts["unchanged"] == 1
+        assert counts["removed"] == 1
+        assert counts["added"] == 1
+        assert counts["regression"] == 0
+        assert sum(counts.values()) == len(cmp.deltas)
+
 
 class TestLoadArtifact:
     def test_round_trip(self, tmp_path):

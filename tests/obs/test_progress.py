@@ -104,6 +104,38 @@ class TestTraceWatching:
         assert _reporter(clock, interval_s=10.0).stall_after_s == 60.0
         assert _reporter(clock, interval_s=0.1).stall_after_s == 30.0
 
+    def test_stall_emits_trace_warning_event(self, clock):
+        trace = TraceLog()
+        reporter = _reporter(clock, total=2, trace=trace, stall_after_s=30.0)
+        reporter.advance("slow-exp")
+        clock.advance(31.0)
+        reporter.tick()
+        stalls = [e for e in trace.events() if e.name == "stall"]
+        assert len(stalls) == 1
+        assert stalls[0].kind == "warning"
+        assert stalls[0].fields["idle_s"] == 31.0
+        assert stalls[0].fields["done"] == 1
+        assert stalls[0].fields["last_item"] == "slow-exp"
+
+    def test_stall_event_does_not_count_as_activity(self, clock):
+        # The emitted stall warning must not read as "new trace events" on
+        # the next beat, or every second stall warning would be suppressed.
+        trace = TraceLog()
+        reporter = _reporter(clock, total=2, trace=trace, stall_after_s=30.0)
+        clock.advance(31.0)
+        assert "STALL" in reporter.tick()
+        clock.advance(31.0)
+        assert "STALL" in reporter.tick()
+        assert reporter.stalls == 2
+
+    def test_stall_increments_counter(self, clock):
+        registry = MetricsRegistry()
+        reporter = _reporter(clock, total=2, registry=registry, stall_after_s=30.0)
+        clock.advance(31.0)
+        reporter.tick()
+        snap = registry.snapshot()
+        assert snap["progress_stalls_total"]["series"][0]["value"] == 1.0
+
 
 class TestRegistrySnapshots:
     def test_snapshots_accumulate(self, clock):
