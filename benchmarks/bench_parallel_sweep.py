@@ -1,0 +1,26 @@
+"""Benchmark: sweep-engine throughput, serial vs process pool.
+
+The same Erlang-inversion grid as the registered ``parallel_sweep::*``
+benchmarks (:mod:`repro.parallel.benchreg`), wrapped pytest-benchmark
+style for the discovered suite.  The jobs=4 test doubles as a determinism
+check: the pooled results must equal the serial ones element for element,
+which is the engine's core guarantee.
+"""
+
+import pytest
+
+from repro.parallel.benchreg import GRID, run_sweep
+
+
+@pytest.mark.benchmark(group="parallel-sweep")
+def test_parallel_sweep_serial(benchmark):
+    rows = benchmark(run_sweep, 1)
+    assert len(rows) == len(GRID)
+    # Fleet sizes grow with offered load across the grid.
+    assert rows[-1][0] > rows[0][0]
+
+
+@pytest.mark.benchmark(group="parallel-sweep")
+def test_parallel_sweep_jobs4_matches_serial(benchmark):
+    rows = benchmark(run_sweep, 4)
+    assert rows == run_sweep(1)

@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..obs import get_registry
-from ..queueing.erlang import erlang_b, min_servers
+from ..parallel.cache import cached_erlang_b as erlang_b
+from ..parallel.cache import cached_min_servers as min_servers
 from .inputs import ModelInputs, ResourceKind, ServiceSpec
 
 __all__ = [

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..analysis.report import format_kv, format_table
 from ..core import UtilityAnalyticModel
 from ..obs import fidelity
+from ..parallel import sweep_map
 from ..queueing.erlang import erlang_b
 from ..queueing.fixed_point import fixed_point_for_inputs
 from .base import ExperimentResult, register
@@ -29,32 +30,32 @@ __all__ = ["run"]
 SCALES = (0.5, 1.0, 2.0, 4.0, 16.0, 64.0)
 
 
+def _scale_task(scale: float) -> dict:
+    """Solve the case study at one workload scale (sweep-engine worker)."""
+    inputs = case_study_inputs(1200.0 * scale, 80.0 * scale)
+    paper = UtilityAnalyticModel(inputs, load_model="paper").solve()
+    offered = UtilityAnalyticModel(inputs, load_model="offered").solve()
+    n = paper.consolidated_servers
+    paper_blocking = max(
+        erlang_b(n, inputs.consolidated_load(r, "paper")) for r in inputs.resources
+    )
+    fp = fixed_point_for_inputs(inputs, n)
+    return {
+        "scale": f"x{scale:g}",
+        "M": paper.dedicated_servers,
+        "N_paper": n,
+        "N_offered": offered.consolidated_servers,
+        "saving": round(paper.infrastructure_saving, 3),
+        "B_paper_est": round(paper_blocking, 5),
+        "B_fixed_point": round(fp.worst_service_loss, 5),
+    }
+
+
 @register("ext-scale")
-def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
     del seed  # analytic
     scales = SCALES[:4] if fast else SCALES
-    rows = []
-    for scale in scales:
-        inputs = case_study_inputs(1200.0 * scale, 80.0 * scale)
-        paper = UtilityAnalyticModel(inputs, load_model="paper").solve()
-        offered = UtilityAnalyticModel(inputs, load_model="offered").solve()
-        n = paper.consolidated_servers
-        paper_blocking = max(
-            erlang_b(n, inputs.consolidated_load(r, "paper"))
-            for r in inputs.resources
-        )
-        fp = fixed_point_for_inputs(inputs, n)
-        rows.append(
-            {
-                "scale": f"x{scale:g}",
-                "M": paper.dedicated_servers,
-                "N_paper": n,
-                "N_offered": offered.consolidated_servers,
-                "saving": round(paper.infrastructure_saving, 3),
-                "B_paper_est": round(paper_blocking, 5),
-                "B_fixed_point": round(fp.worst_service_loss, 5),
-            }
-        )
+    rows = sweep_map(_scale_task, scales, jobs=jobs, name="ext-scale")
     first, last = rows[0], rows[-1]
     summary = {
         "saving_at_smallest_scale": first["saving"],

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..obs import fidelity
+from ..parallel import sweep_map
 from ..simulation.datacenter import DataCenterSimulation
 from .base import ExperimentResult, register
 from .casestudy import CaseStudyGroup, GROUP1
@@ -24,45 +25,63 @@ from .casestudy import CaseStudyGroup, GROUP1
 __all__ = ["run", "consolidation_sweep_rows"]
 
 
+def _deployment_task(task: tuple, *, seed: int) -> dict:
+    """One deployment point of a consolidation grid (sweep-engine worker).
+
+    ``task`` is ``(group, count, horizon)`` with ``count=None`` meaning
+    the dedicated islands.  Each point gets its own RNG stream derived
+    from the grid index, so the row is the same whichever worker — or how
+    many workers — the sweep engine uses.
+    """
+    group, count, horizon = task
+    sim = DataCenterSimulation(group.inputs())
+    rng = np.random.default_rng(seed)
+    if count is None:
+        res = sim.run_dedicated(group.island_sizes, horizon, rng)
+        deployment = f"dedicated ({group.expected_dedicated})"
+        servers = res.servers
+    else:
+        res = sim.run_consolidated(count, horizon, rng)
+        deployment = f"consolidated ({count})"
+        servers = count
+    return {
+        "deployment": deployment,
+        "servers": servers,
+        "db_loss": round(res.per_service_loss["db"], 4),
+        "web_loss": round(res.per_service_loss["web"], 4),
+        "db_throughput": round(res.per_service_throughput["db"], 2),
+        "web_throughput": round(res.per_service_throughput["web"], 1),
+    }
+
+
 def consolidation_sweep_rows(
     group: CaseStudyGroup,
     consolidated_counts: tuple[int, ...],
     horizon: float,
     seed: int,
+    jobs: int = 1,
 ) -> list[dict]:
-    """Rows comparing one dedicated deployment against several pool sizes."""
-    sim = DataCenterSimulation(group.inputs())
-    rng = np.random.default_rng(seed)
-    dedicated = sim.run_dedicated(group.island_sizes, horizon, rng)
-    rows = [
-        {
-            "deployment": f"dedicated ({group.expected_dedicated})",
-            "servers": dedicated.servers,
-            "db_loss": round(dedicated.per_service_loss["db"], 4),
-            "web_loss": round(dedicated.per_service_loss["web"], 4),
-            "db_throughput": round(dedicated.per_service_throughput["db"], 2),
-            "web_throughput": round(dedicated.per_service_throughput["web"], 1),
-        }
+    """Rows comparing one dedicated deployment against several pool sizes.
+
+    The grid (dedicated + each pool size) runs through the parallel sweep
+    engine; rows are identical for every ``jobs`` value.
+    """
+    grid = [(group, None, horizon)] + [
+        (group, n, horizon) for n in consolidated_counts
     ]
-    for n in consolidated_counts:
-        res = sim.run_consolidated(n, horizon, rng)
-        rows.append(
-            {
-                "deployment": f"consolidated ({n})",
-                "servers": n,
-                "db_loss": round(res.per_service_loss["db"], 4),
-                "web_loss": round(res.per_service_loss["web"], 4),
-                "db_throughput": round(res.per_service_throughput["db"], 2),
-                "web_throughput": round(res.per_service_throughput["web"], 1),
-            }
-        )
-    return rows
+    return sweep_map(
+        _deployment_task,
+        grid,
+        jobs=jobs,
+        base_seed=seed,
+        name=f"consolidation:{group.name}",
+    )
 
 
 @register("fig10")
-def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
     horizon = 150.0 if fast else 2000.0
-    rows = consolidation_sweep_rows(GROUP1, (2, 3, 4), horizon, seed)
+    rows = consolidation_sweep_rows(GROUP1, (2, 3, 4), horizon, seed, jobs=jobs)
 
     dedicated = rows[0]
     by_n = {r["servers"]: r for r in rows[1:]}

@@ -27,10 +27,10 @@ __all__ = ["run"]
 
 
 @register("fig11")
-def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
     horizon = 150.0 if fast else 2000.0
     rows = consolidation_sweep_rows(
-        GROUP2, (GROUP2.expected_consolidated,), horizon, seed
+        GROUP2, (GROUP2.expected_consolidated,), horizon, seed, jobs=jobs
     )
 
     # Measured utilization improvement from a paired case-study run.

@@ -20,26 +20,45 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..obs import fidelity
-from ..simulation.datacenter import DataCenterSimulation
+from ..parallel import sweep_map
+from ..simulation.datacenter import CaseStudyResult, DataCenterSimulation
 from .base import ExperimentResult, register
 from .casestudy import GROUP2
 
 __all__ = ["run", "group2_case_study"]
 
 
-def group2_case_study(seed: int, fast: bool):
-    """Shared Group 2 run for the two power figures."""
-    horizon = 150.0 if fast else 2000.0
+def _fleet_task(task: tuple, *, seed: int):
+    """Meter one Group 2 fleet (sweep-engine worker).
+
+    ``task`` is ``("dedicated" | "consolidated", horizon)``; each fleet
+    gets its own grid-index-derived RNG stream so the pair can be metered
+    on separate cores without perturbing either measurement.
+    """
+    fleet, horizon = task
     sim = DataCenterSimulation(GROUP2.inputs())
     rng = np.random.default_rng(seed)
-    return sim.run_case_study(
-        GROUP2.island_sizes, GROUP2.expected_consolidated, horizon, rng
+    if fleet == "dedicated":
+        return sim.run_dedicated(GROUP2.island_sizes, horizon, rng)
+    return sim.run_consolidated(GROUP2.expected_consolidated, horizon, rng)
+
+
+def group2_case_study(seed: int, fast: bool, jobs: int = 1) -> CaseStudyResult:
+    """Shared Group 2 run for the two power figures (engine-routed)."""
+    horizon = 150.0 if fast else 2000.0
+    dedicated, consolidated = sweep_map(
+        _fleet_task,
+        [("dedicated", horizon), ("consolidated", horizon)],
+        jobs=jobs,
+        base_seed=seed,
+        name="power:group2",
     )
+    return CaseStudyResult(dedicated=dedicated, consolidated=consolidated)
 
 
 @register("fig12")
-def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
-    case = group2_case_study(seed, fast)
+def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
+    case = group2_case_study(seed, fast, jobs=jobs)
     ded, con = case.dedicated.energy, case.consolidated.energy
 
     rows = [

@@ -30,6 +30,7 @@ experiment summaries — into one self-contained HTML report.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 from time import perf_counter
@@ -56,6 +57,7 @@ from ..obs import (
     write_report,
     write_trace_jsonl,
 )
+from ..parallel import ParallelSweep, SweepStats, record_cache_metrics, shared_cache
 
 # Importing the experiment modules populates the registry.
 from . import (  # noqa: F401  (imported for registration side effects)
@@ -80,11 +82,59 @@ from .base import all_experiments, get_experiment
 __all__ = ["main", "run_all"]
 
 
-def run_all(seed: int = 2009, fast: bool = True) -> dict[str, object]:
-    """Run every registered experiment; returns name -> ExperimentResult."""
-    return {
-        name: fn(seed=seed, fast=fast) for name, fn in sorted(all_experiments().items())
-    }
+def run_all(
+    seed: int = 2009, fast: bool = True, jobs: int = 1
+) -> dict[str, object]:
+    """Run every registered experiment; returns name -> ExperimentResult.
+
+    ``jobs > 1`` fans the experiments out over a process pool via the
+    sweep engine; results are bit-identical to ``jobs=1``.
+    """
+    names = sorted(all_experiments())
+    results, _stats = _sweep_experiments(names, seed=seed, fast=fast, jobs=jobs)
+    return dict(zip(names, results))
+
+
+def _accepts_jobs(fn) -> bool:
+    """Whether an experiment ``run`` callable takes the ``jobs`` keyword."""
+    try:
+        return "jobs" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtin callables
+        return False
+
+
+def _experiment_task(task: tuple):
+    """Run one registered experiment (sweep-engine worker).
+
+    Top-level so it pickles; importing this module in a spawned worker
+    re-populates the experiment registry.
+    """
+    name, seed, fast, inner_jobs = task
+    fn = get_experiment(name)
+    if inner_jobs > 1 and _accepts_jobs(fn):
+        return fn(seed=seed, fast=fast, jobs=inner_jobs)
+    return fn(seed=seed, fast=fast)
+
+
+def _sweep_experiments(
+    names: Sequence[str], *, seed: int, fast: bool, jobs: int
+) -> tuple[list, SweepStats]:
+    """Engine-routed experiment runs (deterministic at every ``jobs``).
+
+    With several experiments requested the fan-out happens *across*
+    experiments (one task each, no nested pools); a single requested
+    experiment instead passes ``jobs`` down to its internal grid when it
+    supports one (the sweep-heavy modules do).
+    """
+    inner_jobs = jobs if len(names) == 1 else 1
+    sweep = ParallelSweep(
+        _experiment_task,
+        jobs=1 if inner_jobs > 1 else jobs,
+        chunk_size=1,
+        name="experiments",
+    )
+    results = sweep.run([(name, seed, fast, inner_jobs) for name in names])
+    return results, sweep.stats
 
 
 def _manifest_dir(args) -> Path | None:
@@ -120,6 +170,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan experiments (or a single experiment's parameter grid) "
+        "out over N worker processes; results are bit-identical to "
+        "--jobs 1 at the same seed (the tested determinism guarantee)",
+    )
     parser.add_argument(
         "--full",
         action="store_true",
@@ -199,6 +258,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     results_by_name: dict[str, object] = {}
+    sweep_stats: dict[str, object] | None = None
+    cache_baseline = shared_cache().stats()
+
+    def emit(result) -> None:
+        print("=" * 72)
+        print(f"[{result.experiment}] {result.title}")
+        print("=" * 72)
+        print(result.text)
+        if args.output:
+            csv_path, json_path = result.export(args.output)
+            print(f"\n  exported: {csv_path}  {json_path}")
+        print()
 
     def run() -> None:
         for name in names:
@@ -217,27 +288,41 @@ def main(argv: Sequence[str] | None = None) -> int:
             results_by_name[name] = result
             if reporter is not None:
                 reporter.advance(name)
-            print("=" * 72)
-            print(f"[{result.experiment}] {result.title}")
-            print("=" * 72)
-            print(result.text)
-            if args.output:
-                csv_path, json_path = result.export(args.output)
-                print(f"\n  exported: {csv_path}  {json_path}")
-            print()
+            emit(result)
 
+    def run_parallel() -> None:
+        # Collect via the sweep engine, then render in name order with the
+        # same emit() the serial path uses — stdout is byte-identical to
+        # --jobs 1 because the results are.
+        nonlocal sweep_stats
+        results, stats = _sweep_experiments(
+            names, seed=args.seed, fast=not args.full, jobs=args.jobs
+        )
+        sweep_stats = stats.as_dict()
+        for name, result in zip(names, results):
+            results_by_name[name] = result
+            if trace is not None:
+                trace.emit("experiment_done", experiment=name, rows=len(result.rows))
+            if reporter is not None:
+                reporter.advance(name)
+            emit(result)
+
+    runner = run if args.jobs == 1 else run_parallel
     t0 = perf_counter()
     if observed:
         with scoped_registry(registry), scoped_trace(trace):
             if reporter is not None:
                 reporter.start()
             try:
-                run()
+                runner()
             finally:
                 if reporter is not None:
                     reporter.finish()
+            # Surface this process's Erlang-cache activity next to the
+            # origin="workers" counters the sweep engine already merged.
+            record_cache_metrics(registry, cache_baseline)
     else:
-        run()
+        runner()
     wall_time = perf_counter() - t0
 
     # Grade the run against the paper-expected values declared next to
@@ -273,6 +358,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     wall_time_s=wall_time,
                     registry=registry,
                     trace=trace,
+                    # jobs lives outside `inputs` on purpose: the inputs
+                    # hash must be identical across --jobs values (the
+                    # results are).
+                    extra={
+                        "parallel": {
+                            "jobs": args.jobs,
+                            "cache": shared_cache().stats(),
+                            "sweep": sweep_stats,
+                        }
+                    },
                 )
                 manifest_path = write_manifest(
                     manifest, Path(manifest_dir) / "run_manifest.json"

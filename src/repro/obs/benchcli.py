@@ -56,6 +56,11 @@ def _fmt_bytes(value: int | None) -> str:
 
 
 def _collect(args) -> list:
+    # In-process `@bench` registrations live next to the code they measure;
+    # import the registration modules before snapshotting the registry
+    # (discover_suite imports happen too late for that snapshot).
+    from ..parallel import benchreg  # noqa: F401
+
     specs = registered_benchmarks() + discover_suite(args.bench_dir)
     return select_specs(specs, args.select)
 

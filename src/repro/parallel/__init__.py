@@ -1,0 +1,34 @@
+"""Parallel sweep engine + shared Erlang-inversion cache.
+
+The throughput layer of the reproduction: :mod:`repro.parallel.sweep`
+fans independent grid points out over a process pool with a bit-identical
+serial reference path, and :mod:`repro.parallel.cache` memoizes the
+Erlang-B inversions every sweep point leans on.  Determinism is a tested
+contract, not an aspiration — see ``tests/parallel/``.
+"""
+
+from .cache import (
+    ErlangCache,
+    cached_erlang_b,
+    cached_min_servers,
+    cached_min_servers_continuous,
+    configure_shared_cache,
+    record_cache_metrics,
+    shared_cache,
+)
+from .sweep import ParallelSweep, SweepStats, chunk_grid, seed_for, sweep_map
+
+__all__ = [
+    "ErlangCache",
+    "ParallelSweep",
+    "SweepStats",
+    "cached_erlang_b",
+    "cached_min_servers",
+    "cached_min_servers_continuous",
+    "chunk_grid",
+    "configure_shared_cache",
+    "record_cache_metrics",
+    "seed_for",
+    "shared_cache",
+    "sweep_map",
+]

@@ -1,0 +1,59 @@
+"""Registered benchmarks for the parallel sweep engine.
+
+These live in ``src`` (not ``benchmarks/``) so both entry points share one
+workload definition without double-registering:
+
+- ``repro-bench run`` imports this module before snapshotting the
+  :func:`repro.obs.bench.bench` registry, picking up the two registered
+  specs below;
+- ``benchmarks/bench_parallel_sweep.py`` wraps the same workload in
+  pytest-benchmark style tests for the discovered on-disk suite.
+
+The workload is a grid of Erlang-B inversions through the *uncached*
+:func:`repro.queueing.erlang.min_servers` — memoization would turn every
+repeat after the first into a dictionary lookup and the serial-vs-parallel
+comparison would measure nothing.  The serial and jobs=4 variants run the
+identical grid, so the BENCH artifact records both throughputs side by
+side and their ratio is the pool speedup on that machine (>= 2x on the
+multi-core CI runners; a single-core box shows pool overhead instead,
+which is itself worth tracking).
+"""
+
+from __future__ import annotations
+
+from ..obs.bench import bench
+from ..queueing.erlang import erlang_b, min_servers
+from .sweep import sweep_map
+
+__all__ = [
+    "GRID",
+    "bench_parallel_sweep_jobs4",
+    "bench_parallel_sweep_serial",
+    "run_sweep",
+]
+
+#: Offered loads spanning the model's operating range (small web islands
+#: up to consolidated fleets).  96 tasks keeps one serial pass ~O(100ms)
+#: while giving a 4-way pool enough work to amortize fork/submit overhead.
+GRID = tuple(2.0 + 3.7 * i for i in range(96))
+
+
+def _invert(rho: float) -> tuple[int, float]:
+    """One grid task: size a fleet, then verify the blocking it delivers."""
+    servers = min_servers(rho, 0.01)
+    return servers, erlang_b(servers, rho)
+
+
+def run_sweep(jobs: int) -> list[tuple[int, float]]:
+    """Run the benchmark grid at ``jobs`` workers (deterministic output)."""
+    return sweep_map(_invert, GRID, jobs=jobs, name=f"bench:jobs{jobs}")
+
+
+@bench(name="parallel_sweep::serial", group="parallel-sweep")
+def bench_parallel_sweep_serial() -> list[tuple[int, float]]:
+    return run_sweep(1)
+
+
+@bench(name="parallel_sweep::jobs4", group="parallel-sweep")
+def bench_parallel_sweep_jobs4() -> list[tuple[int, float]]:
+    return run_sweep(4)

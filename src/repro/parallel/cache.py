@@ -1,0 +1,218 @@
+"""Bounded memoization for the Erlang-B inversions.
+
+The model's hot path is :func:`repro.queueing.erlang.min_servers`: every
+(service, resource) pair of every sweep point pays an ``O(n)`` recurrence
+scan.  Dense sweeps revisit the same ``(rho, B)`` pairs constantly — the
+consolidated load of a scaled scenario often equals a dedicated load seen
+two grid points earlier — so an exact-answer cache turns most inversions
+into a dict lookup.
+
+Correctness contract:
+
+- keys are ``(rho, B)`` rounded to a fixed number of decimals
+  (:attr:`ErlangCache.RHO_DECIMALS` / :attr:`ErlangCache.TARGET_DECIMALS`);
+  two inputs share an entry only if they agree to that tolerance, which is
+  far below the step-function granularity of ``min_servers`` everywhere
+  except exactly at a step boundary;
+- values are computed by the *uncached* solvers on first miss and returned
+  verbatim afterwards — the cache can change timing, never numbers, for
+  any inputs that are representable on the rounding grid (the property
+  tests sweep this);
+- the store is a bounded LRU: at :attr:`maxsize` entries the least
+  recently used key is evicted, so long-running services cannot leak
+  memory through an unbounded sweep.
+
+Hit/miss/eviction counts are kept as plain integers on the cache object.
+:class:`repro.parallel.sweep.ParallelSweep` snapshots them around every
+chunk — including chunks executed in worker processes, whose registries
+the parent cannot see — and folds the deltas into the ambient metrics
+registry, which is how they surface in run manifests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from ..queueing import erlang
+
+__all__ = [
+    "ErlangCache",
+    "shared_cache",
+    "configure_shared_cache",
+    "cached_min_servers",
+    "cached_min_servers_continuous",
+    "cached_erlang_b",
+    "record_cache_metrics",
+]
+
+
+class ErlangCache:
+    """Bounded LRU cache over the three Erlang solvers.
+
+    Thread-safe; one instance is shared per process via
+    :func:`shared_cache`.
+    """
+
+    #: Rounding tolerance of the cache key, in decimal places.  1e-9 in
+    #: offered load is ~1 request/year of drift at the paper's scales.
+    RHO_DECIMALS = 9
+    #: Blocking targets are probabilities; 12 decimals keeps distinct QoS
+    #: classes (paper uses 1e-2..1e-4) unambiguously apart.
+    TARGET_DECIMALS = 12
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- key construction -------------------------------------------------------------
+
+    @classmethod
+    def key_for(cls, kind: str, *args: float) -> tuple:
+        """The exact store key used for a lookup (exposed for the tests)."""
+        if kind == "erlang_b":
+            n, rho = args
+            return ("erlang_b", int(n), round(float(rho), cls.RHO_DECIMALS))
+        rho, target = args
+        return (
+            kind,
+            round(float(rho), cls.RHO_DECIMALS),
+            round(float(target), cls.TARGET_DECIMALS),
+        )
+
+    # -- core lookup ------------------------------------------------------------------
+
+    def _lookup(self, key: tuple, compute: Callable[[], object]) -> object:
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+        # Compute outside the lock: inversions can take milliseconds and
+        # concurrent threads should not serialise on them.  A racing
+        # duplicate computation returns the same value, so last-write-wins
+        # is harmless.
+        value = compute()
+        with self._lock:
+            self.misses += 1
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    # -- cached solvers ---------------------------------------------------------------
+
+    def min_servers(self, rho: float, blocking_target: float) -> int:
+        """Memoized :func:`repro.queueing.erlang.min_servers`."""
+        key = self.key_for("min_servers", rho, blocking_target)
+        return self._lookup(key, lambda: erlang.min_servers(rho, blocking_target))
+
+    def min_servers_continuous(self, rho: float, blocking_target: float) -> int:
+        """Memoized :func:`repro.queueing.erlang.min_servers_continuous`."""
+        key = self.key_for("min_servers_continuous", rho, blocking_target)
+        return self._lookup(
+            key, lambda: erlang.min_servers_continuous(rho, blocking_target)
+        )
+
+    def erlang_b(self, n: int, rho: float) -> float:
+        """Memoized :func:`repro.queueing.erlang.erlang_b`."""
+        key = self.key_for("erlang_b", n, rho)
+        return self._lookup(key, lambda: erlang.erlang_b(n, rho))
+
+    # -- introspection ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        """Current counters + occupancy (plain ints, snapshot-safe)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._store),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters (test isolation hook)."""
+        with self._lock:
+            self._store.clear()
+            self.hits = self.misses = self.evictions = 0
+
+
+_shared = ErlangCache()
+_shared_lock = threading.Lock()
+
+
+def shared_cache() -> ErlangCache:
+    """The per-process shared cache instance.
+
+    Worker processes of a :class:`~repro.parallel.sweep.ParallelSweep`
+    each hold their own (fork children start with a copy, spawn children
+    with a fresh one); the sweep engine merges their counter deltas back
+    into the parent.
+    """
+    return _shared
+
+
+def configure_shared_cache(maxsize: int) -> ErlangCache:
+    """Replace the shared cache with a fresh one bounded at ``maxsize``."""
+    global _shared
+    with _shared_lock:
+        _shared = ErlangCache(maxsize=maxsize)
+        return _shared
+
+
+def cached_min_servers(rho: float, blocking_target: float) -> int:
+    """Shared-cache front end for the paper's Fig. 4 inner loop."""
+    return _shared.min_servers(rho, blocking_target)
+
+
+def cached_min_servers_continuous(rho: float, blocking_target: float) -> int:
+    """Shared-cache front end for the bisection inversion."""
+    return _shared.min_servers_continuous(rho, blocking_target)
+
+
+def cached_erlang_b(n: int, rho: float) -> float:
+    """Shared-cache front end for one Erlang-B evaluation."""
+    return _shared.erlang_b(n, rho)
+
+
+def record_cache_metrics(registry, baseline: dict[str, int] | None = None) -> None:
+    """Fold this process's cache counters into ``registry``.
+
+    ``baseline`` is an earlier :meth:`ErlangCache.stats` snapshot; only the
+    delta since then is recorded, so a CLI can scope the counters to one
+    run.  Counters carry ``origin="parent"`` to stay disjoint from the
+    ``origin="workers"`` series that :class:`repro.parallel.sweep.
+    ParallelSweep` merges out of its child processes — together the two
+    series are the complete cache story a run manifest shows.
+    """
+    if not getattr(registry, "enabled", False):
+        return
+    stats = _shared.stats()
+    base = baseline or {}
+    labels = {"origin": "parent"}
+    for key in ("hits", "misses", "evictions"):
+        amount = stats[key] - base.get(key, 0)
+        if amount:
+            registry.counter(
+                f"erlang_cache_{key}_total",
+                help=f"shared Erlang-cache {key} (see repro.parallel.cache)",
+                labels=labels,
+            ).inc(amount)
+    registry.gauge(
+        "erlang_cache_size", help="entries resident in the shared Erlang cache"
+    ).set(stats["size"])

@@ -42,14 +42,47 @@ __all__ = [
 _MAX_SERVERS = 50_000_000
 
 
+def _validate_load(rho: float) -> None:
+    """Reject loads the formulas cannot answer sensibly.
+
+    A NaN load slips through ``rho < 0`` comparisons and silently turns
+    every downstream answer into nonsense (``min_servers`` used to return
+    0 for it); an infinite load sends the inversion scanning toward the
+    50M-server ceiling.  Both are caller bugs — fail loudly.
+    """
+    if not math.isfinite(rho):
+        raise ValueError(f"offered load must be finite, got {rho}")
+    if rho < 0.0:
+        raise ValueError(f"offered load must be non-negative, got {rho}")
+
+
+def _validate_target(blocking_target: float) -> None:
+    """Blocking targets are probabilities strictly inside (0, 1).
+
+    ``B = 0`` has no finite answer (blocking is positive for every finite
+    ``n`` when ``rho > 0``) and ``B = 1`` makes every ``n`` a solution;
+    NaN fails the chained comparison too, but gets its own message.
+    """
+    if not math.isfinite(blocking_target):
+        raise ValueError(f"blocking target must be finite, got {blocking_target}")
+    if not 0.0 < blocking_target < 1.0:
+        raise ValueError(
+            f"blocking target must lie in (0, 1), got {blocking_target}"
+        )
+
+
 def offered_load(arrival_rate: float, service_rate: float) -> float:
     """Traffic intensity ``rho = lambda / mu`` (paper Eq. 3).
 
     ``service_rate = inf`` (a resource the service barely touches, like the
     DB service's disk I/O in the paper, ``mu_di ~ inf``) yields zero load.
     """
+    if not math.isfinite(arrival_rate):
+        raise ValueError(f"arrival rate must be finite, got {arrival_rate}")
     if arrival_rate < 0.0:
         raise ValueError(f"arrival rate must be non-negative, got {arrival_rate}")
+    if math.isnan(service_rate):
+        raise ValueError(f"service rate must not be NaN, got {service_rate}")
     if service_rate <= 0.0:
         raise ValueError(f"service rate must be positive, got {service_rate}")
     if math.isinf(service_rate):
@@ -65,8 +98,7 @@ def erlang_b_recurrence(n: int, rho: float) -> float:
     """
     if n < 0:
         raise ValueError(f"number of servers must be non-negative, got {n}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_load(rho)
     if rho == 0.0:
         return 1.0 if n == 0 else 0.0
     b = 1.0
@@ -91,8 +123,7 @@ def erlang_b_log(n: int, rho: float) -> float:
     """
     if n < 0:
         raise ValueError(f"number of servers must be non-negative, got {n}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_load(rho)
     if rho == 0.0:
         return 1.0 if n == 0 else 0.0
     k = np.arange(n + 1)
@@ -120,8 +151,7 @@ def erlang_b_continuous(n: float, rho: float) -> float:
     """
     if n < 0:
         raise ValueError(f"number of servers must be non-negative, got {n}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_load(rho)
     if rho == 0.0:
         return 1.0 if n == 0 else 0.0
     log_g = n * math.log(rho) - rho - special.gammaln(n + 1.0)
@@ -154,8 +184,7 @@ def erlang_c(n: int, rho: float) -> float:
     """
     if n <= 0:
         raise ValueError(f"number of servers must be positive, got {n}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_load(rho)
     if rho >= n:
         return 1.0
     b = erlang_b(n, rho)
@@ -174,10 +203,8 @@ def min_servers(rho: float, blocking_target: float) -> int:
     iteration count and elapsed time under the ``erlang_inversion_*``
     metrics with ``method="recurrence"``.
     """
-    if not 0.0 < blocking_target < 1.0:
-        raise ValueError(f"blocking target must lie in (0, 1), got {blocking_target}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_target(blocking_target)
+    _validate_load(rho)
     if rho == 0.0:
         return 0
     registry = get_registry()
@@ -225,10 +252,8 @@ def min_servers_continuous(rho: float, blocking_target: float) -> int:
     Records ``erlang_inversion_*`` metrics with ``method="bisection"``
     when observability is enabled.
     """
-    if not 0.0 < blocking_target < 1.0:
-        raise ValueError(f"blocking target must lie in (0, 1), got {blocking_target}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
+    _validate_target(blocking_target)
+    _validate_load(rho)
     if rho == 0.0:
         return 0
     registry = get_registry()
@@ -271,8 +296,7 @@ def max_load_for_blocking(n: int, blocking_target: float, tol: float = 1e-10) ->
     """
     if n <= 0:
         raise ValueError(f"number of servers must be positive, got {n}")
-    if not 0.0 < blocking_target < 1.0:
-        raise ValueError(f"blocking target must lie in (0, 1), got {blocking_target}")
+    _validate_target(blocking_target)
     lo, hi = 0.0, float(n)
     # E_n is increasing in rho; expand hi until blocking exceeds the target.
     while erlang_b(n, hi) <= blocking_target:

@@ -1,0 +1,188 @@
+"""Cache-equivalence properties: memoization may change timing, never numbers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.parallel.cache import (
+    ErlangCache,
+    configure_shared_cache,
+    record_cache_metrics,
+    shared_cache,
+)
+from repro.queueing import erlang
+
+# Loads/targets spanning the paper's operating range; values are drawn on
+# the cache's rounding grid so cached and uncached calls see identical
+# floats (off-grid inputs are covered by the tolerance test below).
+loads = st.decimals(
+    min_value="0.001", max_value="500.0", places=6
+).map(float)
+targets = st.decimals(
+    min_value="0.0001", max_value="0.5", places=6
+).map(float)
+
+
+class TestCachedEqualsUncached:
+    @given(rho=loads, target=targets)
+    @settings(max_examples=60, deadline=None)
+    def test_min_servers(self, rho, target):
+        cache = ErlangCache()
+        expected = erlang.min_servers(rho, target)
+        assert cache.min_servers(rho, target) == expected  # miss
+        assert cache.min_servers(rho, target) == expected  # hit
+        assert cache.stats()["hits"] == 1
+
+    @given(rho=loads, target=targets)
+    @settings(max_examples=40, deadline=None)
+    def test_min_servers_continuous(self, rho, target):
+        cache = ErlangCache()
+        expected = erlang.min_servers_continuous(rho, target)
+        assert cache.min_servers_continuous(rho, target) == expected
+        assert cache.min_servers_continuous(rho, target) == expected
+
+    @given(n=st.integers(min_value=0, max_value=400), rho=loads)
+    @settings(max_examples=60, deadline=None)
+    def test_erlang_b(self, n, rho):
+        cache = ErlangCache()
+        expected = erlang.erlang_b(n, rho)
+        assert cache.erlang_b(n, rho) == expected
+        assert cache.erlang_b(n, rho) == expected
+
+    def test_sweep_of_repeated_loads_stays_exact(self):
+        # A dense sweep with heavy key reuse: every return must equal the
+        # uncached solver's, and the reuse must show up as hits.
+        cache = ErlangCache()
+        grid = [(round(0.5 + 0.25 * (i % 40), 3), 0.01) for i in range(200)]
+        for rho, target in grid:
+            assert cache.min_servers(rho, target) == erlang.min_servers(rho, target)
+        stats = cache.stats()
+        assert stats["misses"] == 40
+        assert stats["hits"] == 160
+
+
+class TestKeyTolerance:
+    def test_inputs_within_rounding_share_an_entry(self):
+        cache = ErlangCache()
+        base = 12.345678900
+        nudged = base + 1e-11  # below RHO_DECIMALS resolution
+        assert cache.key_for("min_servers", base, 0.01) == cache.key_for(
+            "min_servers", nudged, 0.01
+        )
+        first = cache.min_servers(base, 0.01)
+        assert cache.min_servers(nudged, 0.01) == first
+        assert cache.stats()["hits"] == 1
+        # The shared entry cannot return anything outside the rounding
+        # tolerance: both inputs invert to the same fleet size anyway.
+        assert erlang.min_servers(nudged, 0.01) == first
+
+    def test_inputs_beyond_rounding_do_not_collide(self):
+        cache = ErlangCache()
+        assert cache.key_for("min_servers", 10.0, 0.01) != cache.key_for(
+            "min_servers", 10.0 + 1e-8, 0.01
+        )
+
+    def test_distinct_qos_classes_stay_apart(self):
+        cache = ErlangCache()
+        keys = {cache.key_for("min_servers", 50.0, t) for t in (1e-2, 1e-3, 1e-4)}
+        assert len(keys) == 3
+
+    def test_kinds_do_not_collide(self):
+        cache = ErlangCache()
+        assert cache.min_servers(30.0, 0.01) >= cache.min_servers_continuous(
+            30.0, 0.01
+        ) - 1
+        assert cache.stats()["misses"] == 2  # separate entries per solver
+
+    def test_erlang_b_key_includes_server_count(self):
+        cache = ErlangCache()
+        assert cache.erlang_b(10, 8.0) != cache.erlang_b(12, 8.0)
+        assert cache.stats()["misses"] == 2
+
+
+class TestEviction:
+    def test_bound_is_enforced(self):
+        cache = ErlangCache(maxsize=8)
+        for i in range(50):
+            cache.min_servers(1.0 + i, 0.01)
+        stats = cache.stats()
+        assert len(cache) <= 8
+        assert stats["evictions"] == 50 - 8
+
+    def test_results_survive_eviction_pressure(self):
+        # A tiny cache thrashing through a cycling workload must still
+        # return exactly what the uncached solver returns, every call.
+        cache = ErlangCache(maxsize=4)
+        grid = [1.0 + (i % 10) for i in range(80)]
+        for rho in grid:
+            assert cache.min_servers(rho, 0.02) == erlang.min_servers(rho, 0.02)
+        assert cache.stats()["evictions"] > 0
+
+    def test_lru_order(self):
+        cache = ErlangCache(maxsize=2)
+        cache.min_servers(1.0, 0.01)
+        cache.min_servers(2.0, 0.01)
+        cache.min_servers(1.0, 0.01)  # refresh 1.0
+        cache.min_servers(3.0, 0.01)  # evicts 2.0, not 1.0
+        cache.min_servers(1.0, 0.01)
+        assert cache.stats()["hits"] == 2
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError, match="positive"):
+            ErlangCache(maxsize=0)
+
+
+class TestSharedCacheAndMetrics:
+    def test_configure_replaces_shared_instance(self):
+        original = shared_cache()
+        try:
+            replaced = configure_shared_cache(maxsize=16)
+            assert shared_cache() is replaced
+            assert replaced.maxsize == 16
+        finally:
+            configure_shared_cache(maxsize=original.maxsize)
+
+    def test_record_cache_metrics_scopes_to_baseline(self):
+        original = shared_cache()
+        try:
+            cache = configure_shared_cache(maxsize=64)
+            cache.min_servers(5.0, 0.01)
+            baseline = cache.stats()
+            cache.min_servers(5.0, 0.01)  # 1 hit after baseline
+            cache.min_servers(6.0, 0.01)  # 1 miss after baseline
+            registry = MetricsRegistry("test")
+            record_cache_metrics(registry, baseline)
+            snap = registry.snapshot()
+            assert snap["erlang_cache_hits_total"]["series"] == [
+                {"labels": {"origin": "parent"}, "value": 1.0}
+            ]
+            assert snap["erlang_cache_misses_total"]["series"] == [
+                {"labels": {"origin": "parent"}, "value": 1.0}
+            ]
+            assert snap["erlang_cache_size"]["series"][0]["value"] == 2.0
+        finally:
+            configure_shared_cache(maxsize=original.maxsize)
+
+    def test_record_cache_metrics_noop_when_disabled(self):
+        class Disabled:
+            enabled = False
+
+        record_cache_metrics(Disabled())  # must not raise or record
+
+    def test_clear_resets_everything(self):
+        cache = ErlangCache()
+        cache.min_servers(3.0, 0.01)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 65536,
+        }
+
+    def test_nan_load_rejected_through_cache(self):
+        # Validation bugs must not hide behind memoization.
+        cache = ErlangCache()
+        with pytest.raises(ValueError, match="finite"):
+            cache.min_servers(math.nan, 0.01)

@@ -1,0 +1,106 @@
+"""The engine's contract: ``jobs=N`` output is bit-identical to ``jobs=1``.
+
+Pinned at three levels — toy functions through the raw engine, the
+sweep-heavy experiment helpers at reduced horizons, and whole experiments
+through the runner — each parametrized over jobs in {1, 2, 4}.  All
+comparisons are exact equality (``==`` on floats), not approx: the
+guarantee is *bit*-identical, and anything weaker would let seed-handling
+regressions hide inside tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_scale
+from repro.experiments.casestudy import GROUP1, GROUP2
+from repro.experiments.fig10_group1 import consolidation_sweep_rows
+from repro.experiments.fig12_power_total import group2_case_study
+from repro.experiments.runner import main as runner_main
+from repro.parallel import sweep_map
+
+JOBS = [1, 2, 4]
+
+
+def _seeded_draw(x, *, seed):
+    rng = np.random.default_rng(seed)
+    return (x, float(rng.random()), int(rng.integers(0, 1 << 30)))
+
+
+def _analytic(x):
+    return x**0.5 + 1.0 / (x + 1.0)
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_seeded_grid_matches_serial(self, jobs):
+        grid = list(range(17))
+        serial = sweep_map(_seeded_draw, grid, jobs=1, base_seed=2009)
+        assert sweep_map(_seeded_draw, grid, jobs=jobs, base_seed=2009) == serial
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_unseeded_grid_matches_serial(self, jobs):
+        grid = [float(x) for x in range(23)]
+        serial = sweep_map(_analytic, grid, jobs=1)
+        assert sweep_map(_analytic, grid, jobs=jobs) == serial
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 17])
+    def test_chunk_size_never_changes_results(self, chunk_size):
+        # Re-chunking moves tasks between workers; seeds must not notice.
+        serial = sweep_map(_seeded_draw, range(17), base_seed=7)
+        parallel = sweep_map(
+            _seeded_draw, range(17), jobs=2, chunk_size=chunk_size, base_seed=7
+        )
+        assert parallel == serial
+
+
+class TestHelperDeterminism:
+    """Sweep-heavy experiment helpers at test-sized horizons."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_consolidation_sweep(self, jobs):
+        serial = consolidation_sweep_rows(
+            GROUP1, (GROUP1.expected_consolidated,), 40.0, 2009, jobs=1
+        )
+        parallel = consolidation_sweep_rows(
+            GROUP1, (GROUP1.expected_consolidated,), 40.0, 2009, jobs=jobs
+        )
+        assert parallel == serial
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_group2_power_case_study(self, jobs):
+        serial = group2_case_study(2009, True, jobs=1)
+        parallel = group2_case_study(2009, True, jobs=jobs)
+        assert parallel.dedicated == serial.dedicated
+        assert parallel.consolidated == serial.consolidated
+
+
+class TestExperimentDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_analytic_experiment(self, jobs):
+        serial = ext_scale.run(seed=5, fast=True, jobs=1)
+        parallel = ext_scale.run(seed=5, fast=True, jobs=jobs)
+        assert parallel.rows == serial.rows
+        assert parallel.summary == serial.summary
+        assert parallel.text == serial.text
+
+    def test_fig10_jobs2_matches_serial(self):
+        # One full DES experiment through its registered entry point: the
+        # moderately-priced integration check of the whole contract.
+        from repro.experiments.fig10_group1 import run as fig10
+
+        serial = fig10(seed=2009, fast=True, jobs=1)
+        parallel = fig10(seed=2009, fast=True, jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.summary == serial.summary
+
+
+class TestCliDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_stdout_identical_across_jobs(self, capsys, jobs):
+        # Cheap analytic experiments keep the runner-level check fast; the
+        # parallel path fans out *across* experiments here.
+        names = ["table1", "fig2", "ext-scale"]
+        assert runner_main([*names, "--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert runner_main([*names, "--jobs", str(jobs)]) == 0
+        assert capsys.readouterr().out == serial_out

@@ -159,6 +159,74 @@ class TestMinServers:
         assert erlang_b_log(n - 1, 5000.0) > 0.01
 
 
+class TestNonFiniteInputs:
+    """Regression: NaN/inf inputs must raise, not return nonsense.
+
+    Before validation was added, ``min_servers(nan, B)`` silently returned
+    0 servers (NaN fails every comparison, so the scan loop never ran) and
+    ``min_servers(inf, B)`` ground toward the 50M-server iteration ceiling.
+    Either would poison a whole sweep — and with the shared cache, poison
+    it *memoized*.  These tests pin the ValueError contract.
+    """
+
+    BAD_LOADS = [math.nan, math.inf, -math.inf]
+
+    @pytest.mark.parametrize("rho", BAD_LOADS)
+    def test_min_servers_rejects_nonfinite_load(self, rho):
+        with pytest.raises(ValueError, match="finite"):
+            min_servers(rho, 0.01)
+
+    @pytest.mark.parametrize("rho", BAD_LOADS)
+    def test_min_servers_continuous_rejects_nonfinite_load(self, rho):
+        with pytest.raises(ValueError, match="finite"):
+            min_servers_continuous(rho, 0.01)
+
+    @pytest.mark.parametrize("rho", BAD_LOADS)
+    def test_erlang_b_rejects_nonfinite_load(self, rho):
+        with pytest.raises(ValueError, match="finite"):
+            erlang_b(3, rho)
+        with pytest.raises(ValueError, match="finite"):
+            erlang_b_log(3, rho)
+        with pytest.raises(ValueError, match="finite"):
+            erlang_b_continuous(3.0, rho)
+        with pytest.raises(ValueError, match="finite"):
+            erlang_c(3, rho)
+
+    @pytest.mark.parametrize("target", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_targets_rejected(self, target):
+        with pytest.raises(ValueError, match="finite"):
+            min_servers(1.0, target)
+        with pytest.raises(ValueError, match="finite"):
+            min_servers_continuous(1.0, target)
+        with pytest.raises(ValueError, match="finite"):
+            max_load_for_blocking(3, target)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.2, 1.7])
+    def test_boundary_targets_rejected_everywhere(self, target):
+        # B=0 is unreachable with finite servers, B=1 needs none: both are
+        # ill-posed inversion targets and must fail fast with a message.
+        with pytest.raises(ValueError, match="blocking target"):
+            min_servers(2.0, target)
+        with pytest.raises(ValueError, match="blocking target"):
+            min_servers_continuous(2.0, target)
+        with pytest.raises(ValueError, match="blocking target"):
+            max_load_for_blocking(4, target)
+
+    def test_offered_load_rejects_nonfinite_rates(self):
+        with pytest.raises(ValueError, match="finite"):
+            offered_load(math.inf, 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            offered_load(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            offered_load(1.0, math.nan)
+
+    def test_error_messages_name_the_offender(self):
+        with pytest.raises(ValueError, match="offered load"):
+            min_servers(math.nan, 0.01)
+        with pytest.raises(ValueError, match="blocking target"):
+            min_servers(1.0, math.nan)
+
+
 class TestMaxLoad:
     def test_inverse_of_min_servers(self):
         n, target = 4, 0.01
