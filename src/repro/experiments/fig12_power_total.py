@@ -86,6 +86,16 @@ def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
     idle_linux_per_server = ded.idle_energy / ded.duration / case.dedicated.servers
     idle_xen_per_server = con.idle_energy / con.duration / case.consolidated.servers
     summary = {
+        # Absolute energy block: the fleet audit layer (repro.obs.fleet)
+        # prices these numbers in $/kWh and gCO2/kWh, so the summary must
+        # carry watts and joules, not just saving fractions.
+        "dedicated_servers": case.dedicated.servers,
+        "consolidated_servers": case.consolidated.servers,
+        "dedicated_mean_power_W": round(ded.mean_power, 1),
+        "consolidated_mean_power_W": round(con.mean_power, 1),
+        "dedicated_energy_Wh": round(ded.total_energy / 3600.0, 2),
+        "consolidated_energy_Wh": round(con.total_energy / 3600.0, 2),
+        "metering_duration_s": round(ded.duration, 1),
         "power_saving_fraction": round(case.power_saving, 3),
         "paper_power_saving": 0.53,
         "server_reduction_fraction": round(

@@ -37,14 +37,18 @@ from time import perf_counter
 from typing import Sequence
 
 from ..obs import (
+    AuditAssumptions,
     MetricsRegistry,
     ProgressReporter,
     SpanProfiler,
     TraceLog,
+    build_and_render,
     build_fidelity_artifact,
+    build_ledger,
     build_manifest,
     collect_bench_docs,
     compare_artifacts,
+    environment_fingerprint,
     evaluate_summaries,
     load_artifact,
     render_report,
@@ -52,11 +56,13 @@ from ..obs import (
     scoped_trace,
     scoreboard_table,
     write_fidelity_artifact,
+    write_fleet_artifact,
     write_manifest,
     write_prometheus,
     write_report,
     write_trace_jsonl,
 )
+from ..obs.ledger import ledger_with_live_results
 from ..parallel import ParallelSweep, SweepStats, record_cache_metrics, shared_cache
 
 # Importing the experiment modules populates the registry.
@@ -149,6 +155,8 @@ def _manifest_dir(args) -> Path | None:
         return Path(args.profile_out).parent
     if args.report_out:
         return Path(args.report_out).parent
+    if args.fleet_out:
+        return Path(args.fleet_out).parent
     if args.full:
         return Path("results")
     return None
@@ -228,11 +236,51 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fidelity scoreboard, summaries) into one self-contained HTML file",
     )
     parser.add_argument(
+        "--fleet-out",
+        metavar="FILE",
+        help="aggregate this run plus every on-disk artifact (results, "
+        "bench baselines) into the executive fleet dashboard (self-"
+        "contained HTML + FLEET_*.json next to it)",
+    )
+    parser.add_argument(
+        "--price-usd-per-kwh",
+        type=float,
+        default=AuditAssumptions.price_usd_per_kwh,
+        metavar="USD",
+        help="electricity price for the fleet audit (default: %(default)s; "
+        "recorded in the run manifest)",
+    )
+    parser.add_argument(
+        "--carbon-g-per-kwh",
+        type=float,
+        default=AuditAssumptions.carbon_g_per_kwh,
+        metavar="G",
+        help="grid carbon intensity for the fleet audit "
+        "(default: %(default)s; recorded in the run manifest)",
+    )
+    parser.add_argument(
+        "--server-capex-usd",
+        type=float,
+        default=AuditAssumptions.server_capex_usd,
+        metavar="USD",
+        help="per-server capex, amortized, for the fleet audit "
+        "(default: %(default)s; recorded in the run manifest)",
+    )
+    parser.add_argument(
         "--fail-on-fidelity",
         action="store_true",
         help="exit 1 when any fidelity verdict is 'fail' (CI push gate)",
     )
     args = parser.parse_args(argv)
+
+    try:
+        audit_assumptions = AuditAssumptions(
+            price_usd_per_kwh=args.price_usd_per_kwh,
+            carbon_g_per_kwh=args.carbon_g_per_kwh,
+            server_capex_usd=args.server_capex_usd,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     if args.list:
         for name in sorted(all_experiments()):
@@ -358,15 +406,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                     wall_time_s=wall_time,
                     registry=registry,
                     trace=trace,
-                    # jobs lives outside `inputs` on purpose: the inputs
-                    # hash must be identical across --jobs values (the
-                    # results are).
+                    # jobs and audit live outside `inputs` on purpose: the
+                    # inputs hash must be identical across --jobs values
+                    # and price assumptions (the results are), while two
+                    # fleet dashboards built from the same runs at
+                    # different prices stay distinguishable via `audit`.
                     extra={
                         "parallel": {
                             "jobs": args.jobs,
                             "cache": shared_cache().stats(),
                             "sweep": sweep_stats,
-                        }
+                        },
+                        "audit": audit_assumptions.as_dict(),
                     },
                 )
                 manifest_path = write_manifest(
@@ -420,6 +471,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                 args.report_out,
             )
             print(f"report: {report_path}", file=sys.stderr)
+        if args.fleet_out:
+            scan_dirs: list = []
+            if manifest_dir is not None:
+                scan_dirs.append(manifest_dir)
+            scan_dirs.append(_BENCH_BASELINE.parent)
+            ledger = ledger_with_live_results(
+                build_ledger(scan_dirs),
+                {name: r.summary for name, r in results_by_name.items()},
+                seed=args.seed,
+                env=environment_fingerprint(),
+            )
+            fleet_artifact, fleet_html = build_and_render(
+                ledger,
+                audit_assumptions,
+                title="repro fleet audit",
+                fidelity_doc=fidelity_doc if scoreboard.verdicts else None,
+            )
+            fleet_path = Path(args.fleet_out)
+            if fleet_path.parent != Path(""):
+                fleet_path.parent.mkdir(parents=True, exist_ok=True)
+            fleet_path.write_text(fleet_html)
+            print(f"fleet dashboard: {fleet_path}", file=sys.stderr)
+            artifact_path = write_fleet_artifact(
+                fleet_artifact,
+                fleet_path.parent if str(fleet_path.parent) else ".",
+            )
+            print(f"fleet artifact: {artifact_path}", file=sys.stderr)
     except OSError as exc:
         print(f"error: cannot write observability output: {exc}", file=sys.stderr)
         return 1

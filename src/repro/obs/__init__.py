@@ -74,6 +74,27 @@ from .fidelity import (
     write_fidelity_artifact,
 )
 from .report import collect_bench_docs, render_report, write_report
+from .ledger import (
+    LEDGER_KINDS,
+    LedgerEntry,
+    RunLedger,
+    SkippedFile,
+    build_ledger,
+    fingerprint_key,
+)
+from .fleet import (
+    FLEET_SCHEMA,
+    AuditAssumptions,
+    ScenarioCost,
+    build_fleet_artifact,
+    build_fleet_summary,
+    load_fleet_artifact,
+    scenario_costs,
+    scenario_deltas,
+    validate_fleet_artifact,
+    write_fleet_artifact,
+)
+from .execsummary import build_and_render, render_fleet_dashboard
 from .profileutil import PROFILE_SCHEMA, SpanProfiler
 from .progress import ProgressReporter
 from .registry import (
@@ -167,4 +188,25 @@ __all__ = [
     "render_report",
     "collect_bench_docs",
     "write_report",
+    # fleet run ledger
+    "LEDGER_KINDS",
+    "LedgerEntry",
+    "SkippedFile",
+    "RunLedger",
+    "build_ledger",
+    "fingerprint_key",
+    # fleet cost/energy/carbon aggregation
+    "FLEET_SCHEMA",
+    "AuditAssumptions",
+    "ScenarioCost",
+    "scenario_costs",
+    "scenario_deltas",
+    "build_fleet_summary",
+    "build_fleet_artifact",
+    "validate_fleet_artifact",
+    "write_fleet_artifact",
+    "load_fleet_artifact",
+    # executive dashboard
+    "render_fleet_dashboard",
+    "build_and_render",
 ]

@@ -1,0 +1,461 @@
+"""Executive fleet dashboard: one HTML page that answers "which fleet?".
+
+``repro-fleet`` (and ``repro-experiments --fleet-out``) aggregate every
+discoverable run artifact — manifests, experiment summaries, BENCH
+trajectory points, FIDELITY scoreboards — through the run ledger
+(:mod:`repro.obs.ledger`) and the cost/energy/carbon aggregator
+(:mod:`repro.obs.fleet`) into:
+
+- a self-contained HTML dashboard (no JavaScript, no external assets)
+  with the executive decision table, per-experiment fidelity verdict
+  grid, and inline-SVG BENCH trend sparklines; and
+- a machine-readable ``FLEET_*.json`` companion artifact (append-only,
+  schema ``repro.fleet/v1``).
+
+Like every report in this repo, the renderer is a pure function over
+already-loaded documents; the CLI only does discovery and I/O.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .fleet import (
+    AuditAssumptions,
+    build_fleet_artifact,
+    build_fleet_summary,
+    write_fleet_artifact,
+)
+from .htmlutil import badge, esc, kv_table, page, sparkline, table
+from .ledger import RunLedger, build_ledger
+
+__all__ = ["render_fleet_dashboard", "build_and_render", "main"]
+
+#: Human labels for the assumption keys, shown in the dashboard.
+_ASSUMPTION_LABELS = {
+    "price_usd_per_kwh": "electricity price ($/kWh)",
+    "carbon_g_per_kwh": "grid carbon intensity (gCO2/kWh)",
+    "server_capex_usd": "server capex, amortized ($)",
+    "server_lifetime_years": "server lifetime (years)",
+    "horizon_hours": "audit horizon (hours)",
+}
+
+
+def _money(value: Any) -> str:
+    if isinstance(value, (int, float)):
+        return f"${value:,.2f}"
+    return "–"
+
+
+def _num(value: Any, unit: str = "", digits: int = 1) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:,.{digits}f}{unit}"
+    return "–"
+
+
+def _section_decision(doc: Mapping[str, Any]) -> str:
+    out = ["<h2>Executive summary</h2>"]
+    decision = doc.get("decision") or {}
+    recommendation = decision.get("recommendation")
+    headline = decision.get("headline", "")
+    if recommendation:
+        out.append(
+            f'<p class="headline">{badge(recommendation)} {esc(headline)}</p>'
+        )
+    else:
+        out.append(f'<div class="warnbox">⚠ {esc(headline or "no decision")}</div>')
+    scenarios = doc.get("scenarios") or {}
+    if scenarios:
+        rows = []
+        for name in ("dedicated", "consolidated", "projected"):
+            s = scenarios.get(name)
+            if not s:
+                continue
+            rows.append(
+                (
+                    f"{badge(name) if name != 'projected' else esc(name)}",
+                    f'<span class="mono">{esc(s.get("servers", "–"))}</span>',
+                    f'<span class="mono">{esc(_num(s.get("mean_power_w"), " W"))}</span>',
+                    f'<span class="mono">{esc(_num(s.get("energy_kwh"), " kWh"))}</span>',
+                    f'<span class="mono">{esc(_money(s.get("energy_cost_usd")))}</span>',
+                    f'<span class="mono">{esc(_money(s.get("capex_usd")))}</span>',
+                    f'<span class="mono">{esc(_money(s.get("total_cost_usd")))}</span>',
+                    f'<span class="mono">{esc(_num(s.get("carbon_kg"), " kg"))}</span>',
+                    f'<span class="muted">{esc(s.get("source", ""))}</span>',
+                )
+            )
+        out.append(
+            table(
+                ("fleet", "servers", "mean power", "energy", "energy $",
+                 "capex $", "total $", "CO2", "source"),
+                rows,
+            )
+        )
+    deltas = doc.get("deltas") or {}
+    if deltas:
+        out.append("<h3>Savings (positive = alternative is leaner)</h3>")
+        rows = []
+        for label, d in deltas.items():
+            frac = d.get("cost_saved_fraction")
+            rows.append(
+                (
+                    f'<span class="mono">{esc(label.replace("_", " "))}</span>',
+                    f'<span class="mono">{esc(d.get("servers_saved", "–"))}</span>',
+                    f'<span class="mono">{esc(_num(d.get("power_saved_w"), " W"))}</span>',
+                    f'<span class="mono">{esc(_num(d.get("energy_saved_kwh"), " kWh"))}</span>',
+                    f'<span class="mono">{esc(_money(d.get("cost_saved_usd")))}</span>',
+                    f'<span class="mono">{esc(_num(d.get("carbon_saved_kg"), " kg"))}</span>',
+                    f'<span class="mono">'
+                    f'{esc(f"{100.0 * frac:+.1f}%" if isinstance(frac, float) else "–")}'
+                    f"</span>",
+                )
+            )
+        out.append(
+            table(
+                ("comparison", "servers", "power", "energy", "cost",
+                 "carbon", "cost %"),
+                rows,
+            )
+        )
+    for note in doc.get("notes") or []:
+        out.append(f'<div class="warnbox">⚠ {esc(note)}</div>')
+    return "".join(out)
+
+
+def _section_assumptions(doc: Mapping[str, Any]) -> str:
+    out = ["<h2>Audit assumptions</h2>"]
+    assumptions = doc.get("assumptions") or {}
+    if not assumptions:
+        out.append('<p class="muted">No assumptions recorded.</p>')
+        return "".join(out)
+    out.append(
+        '<p class="muted">Every dollar and kilogram above derives from '
+        "these recorded inputs; rebuild with different flags to restate "
+        "the audit.</p>"
+    )
+    out.append(
+        kv_table(
+            {
+                _ASSUMPTION_LABELS.get(key, key): value
+                for key, value in assumptions.items()
+            }
+        )
+    )
+    return "".join(out)
+
+
+def _section_fidelity_grid(doc: Mapping[str, Any]) -> str:
+    out = ["<h2>Fidelity verdict grid</h2>"]
+    fidelity = doc.get("fidelity") or {}
+    grid = fidelity.get("per_experiment") or {}
+    if not grid:
+        out.append('<p class="muted">No fidelity data in the ledger.</p>')
+        return "".join(out)
+    overall = fidelity.get("overall")
+    counts = fidelity.get("counts") or {}
+    out.append(
+        f"<p>Overall: {badge(str(overall))} "
+        f'<span class="muted">({counts.get("match", 0)} match, '
+        f'{counts.get("drift", 0)} drift, {counts.get("fail", 0)} fail '
+        f"across {len(grid)} experiment(s))</span></p>"
+    )
+    rows = [
+        (
+            f'<span class="mono">{esc(name)}</span>',
+            badge(cell.get("overall", "?")),
+            f'<span class="mono">{esc(cell.get("match", 0))}</span>',
+            f'<span class="mono">{esc(cell.get("drift", 0))}</span>',
+            f'<span class="mono">{esc(cell.get("fail", 0))}</span>',
+        )
+        for name, cell in grid.items()
+    ]
+    out.append(table(("experiment", "verdict", "match", "drift", "fail"), rows))
+    return "".join(out)
+
+
+def _section_bench_trend(doc: Mapping[str, Any]) -> str:
+    out = ["<h2>Performance trajectory</h2>"]
+    bench = doc.get("bench") or {}
+    series = bench.get("median_wall_s") or {}
+    points = bench.get("points", 0)
+    if not series:
+        out.append(
+            '<p class="muted">No BENCH_*.json artifacts in the ledger — '
+            'run <span class="mono">repro-bench run</span> to record one.</p>'
+        )
+        return "".join(out)
+    axis = bench.get("created_utc") or []
+    span = (
+        f'{esc(axis[0])} → {esc(axis[-1])}' if len(axis) >= 2 else esc("".join(axis))
+    )
+    out.append(
+        f'<p class="muted">{points} trajectory point(s) spanning {span}.</p>'
+    )
+    rows = []
+    for name, values in series.items():
+        latest = values[-1] if values else None
+        first = values[0] if values else None
+        rel = (
+            f"{100.0 * (latest / first - 1.0):+.1f}%"
+            if isinstance(latest, float) and isinstance(first, float) and first
+            else "–"
+        )
+        rows.append(
+            (
+                f'<span class="mono">{esc(name)}</span>',
+                f'<span class="mono">'
+                f'{esc(_num(latest * 1e3 if latest is not None else None, " ms", 2))}'
+                f"</span>",
+                f'<span class="mono">{esc(rel)}</span>',
+                sparkline(values),
+            )
+        )
+    out.append(table(("benchmark", "latest median", "vs first", "trend"), rows))
+    return "".join(out)
+
+
+def _section_ledger(doc: Mapping[str, Any]) -> str:
+    out = ["<h2>Run ledger</h2>"]
+    ledger = doc.get("ledger") or {}
+    counts = ledger.get("counts") or {}
+    head = {
+        "directories": ", ".join(ledger.get("directories", [])),
+        "indexed runs": len(ledger.get("runs", [])),
+        **{f"{k} artifacts": v for k, v in counts.items()},
+        "seeds": ", ".join(str(s) for s in doc.get("seeds", [])) or "–",
+        "environments": doc.get("environments", 0),
+    }
+    out.append(kv_table(head))
+    excluded = doc.get("excluded") or []
+    if excluded:
+        out.append(
+            f'<div class="warnbox">⚠ {len(excluded)} result(s) excluded '
+            "from the aggregation:</div>"
+        )
+        out.append(
+            table(
+                ("experiment", "path", "reason"),
+                [
+                    (
+                        f'<span class="mono">{esc(e.get("experiment", "?"))}</span>',
+                        f'<span class="mono">{esc(e.get("path", "?"))}</span>',
+                        esc(e.get("reason", "")),
+                    )
+                    for e in excluded
+                ],
+            )
+        )
+    skipped = ledger.get("skipped") or []
+    if skipped:
+        out.append(
+            f"<details><summary>{len(skipped)} file(s) skipped during "
+            "discovery</summary>"
+        )
+        out.append(
+            table(
+                ("path", "reason"),
+                [
+                    (
+                        f'<span class="mono">{esc(s.get("path", "?"))}</span>',
+                        esc(s.get("reason", "")),
+                    )
+                    for s in skipped
+                ],
+            )
+        )
+        out.append("</details>")
+    return "".join(out)
+
+
+def render_fleet_dashboard(
+    doc: Mapping[str, Any],
+    *,
+    title: str = "repro fleet audit",
+    generated_utc: str | None = None,
+) -> str:
+    """Render a fleet artifact document into the self-contained dashboard."""
+    generated = generated_utc or doc.get("created_utc") or datetime.now(
+        timezone.utc
+    ).isoformat(timespec="seconds")
+    subtitle = [f"generated {generated}"]
+    if doc.get("git_sha"):
+        subtitle.append(f"commit {doc['git_sha']}")
+    if doc.get("inputs_hash"):
+        subtitle.append(f"runs hash {str(doc['inputs_hash'])[:12]}")
+    body = "".join(
+        (
+            f"<h1>{esc(title)}</h1>",
+            f'<p class="muted">{esc(" · ".join(subtitle))}</p>',
+            _section_decision(doc),
+            _section_assumptions(doc),
+            _section_fidelity_grid(doc),
+            _section_bench_trend(doc),
+            _section_ledger(doc),
+        )
+    )
+    return page(title, body)
+
+
+def build_and_render(
+    ledger: RunLedger,
+    assumptions: AuditAssumptions | None = None,
+    *,
+    title: str = "repro fleet audit",
+    fidelity_doc: Mapping[str, Any] | None = None,
+    git_sha: str | None = None,
+    created_utc: str | None = None,
+) -> tuple[dict[str, Any], str]:
+    """Ledger -> (fleet artifact document, dashboard HTML)."""
+    summary = build_fleet_summary(
+        ledger, assumptions, fidelity_doc=fidelity_doc
+    )
+    artifact = build_fleet_artifact(
+        summary, ledger, git_sha=git_sha, created_utc=created_utc
+    )
+    return artifact, render_fleet_dashboard(artifact, title=title)
+
+
+def _fallback_fidelity(ledger: RunLedger) -> Mapping[str, Any] | None:
+    """Grade the ledger's summaries when no FIDELITY artifact was indexed.
+
+    Importing the experiment registry pulls in every declared expectation;
+    done lazily because it is only needed on this path.
+    """
+    if ledger.fidelity_docs() or not ledger.results:
+        return None
+    from ..experiments import runner as _runner  # noqa: F401
+    from .fidelity import build_fidelity_artifact, evaluate_summaries
+
+    scoreboard = evaluate_summaries(ledger.summaries())
+    if not scoreboard.verdicts:
+        return None
+    return build_fidelity_artifact(scoreboard)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro-fleet`` — build the fleet dashboard from on-disk artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Aggregate run manifests, experiment summaries, BENCH "
+        "and FIDELITY artifacts into one executive cost/energy/carbon "
+        "dashboard (self-contained HTML + FLEET_*.json) — without "
+        "re-running any experiment.",
+    )
+    parser.add_argument(
+        "--scan",
+        action="append",
+        metavar="DIR",
+        help="directories to index recursively (repeatable; default: "
+        "results and benchmarks/baselines; first listed wins conflicts)",
+    )
+    parser.add_argument(
+        "--price-usd-per-kwh",
+        type=float,
+        default=AuditAssumptions.price_usd_per_kwh,
+        metavar="USD",
+        help="electricity price assumption (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--carbon-g-per-kwh",
+        type=float,
+        default=AuditAssumptions.carbon_g_per_kwh,
+        metavar="G",
+        help="grid carbon intensity assumption (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--server-capex-usd",
+        type=float,
+        default=AuditAssumptions.server_capex_usd,
+        metavar="USD",
+        help="per-server capex, amortized over the server lifetime "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--server-lifetime-years",
+        type=float,
+        default=AuditAssumptions.server_lifetime_years,
+        metavar="Y",
+        help="amortization period for the capex (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--horizon-hours",
+        type=float,
+        default=AuditAssumptions.horizon_hours,
+        metavar="H",
+        help="audit horizon the steady-state draw is projected over "
+        "(default: %(default)s = one year)",
+    )
+    parser.add_argument("--title", default="repro fleet audit")
+    parser.add_argument(
+        "--out", default="fleet.html", metavar="FILE", help="output HTML path"
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        help="where the FLEET_*.json companion lands (default: next to "
+        "--out; pass an empty string to skip writing it)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        assumptions = AuditAssumptions(
+            price_usd_per_kwh=args.price_usd_per_kwh,
+            carbon_g_per_kwh=args.carbon_g_per_kwh,
+            server_capex_usd=args.server_capex_usd,
+            server_lifetime_years=args.server_lifetime_years,
+            horizon_hours=args.horizon_hours,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    directories = args.scan or ["results", "benchmarks/baselines"]
+    ledger = build_ledger(directories)
+    if not ledger.entries:
+        scanned = ", ".join(str(d) for d in directories)
+        print(
+            f"error: no run artifacts under {scanned} — run "
+            "'repro-experiments --output <dir>' and/or 'repro-bench run' "
+            "first, then point --scan at the output",
+            file=sys.stderr,
+        )
+        return 2
+
+    artifact, html = build_and_render(
+        ledger,
+        assumptions,
+        title=args.title,
+        fidelity_doc=_fallback_fidelity(ledger),
+    )
+    out = Path(args.out)
+    try:
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(html)
+    except OSError as exc:
+        print(f"error: cannot write dashboard to {out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"fleet dashboard: {out}")
+    if args.artifact_dir != "":
+        artifact_dir = args.artifact_dir or (out.parent if str(out.parent) else ".")
+        try:
+            artifact_path = write_fleet_artifact(artifact, artifact_dir)
+        except OSError as exc:
+            print(
+                f"error: cannot write fleet artifact under {artifact_dir}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"fleet artifact: {artifact_path}")
+    decision = artifact.get("decision", {})
+    if decision.get("headline"):
+        print(decision["headline"])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,7 +20,6 @@ Entry points:
 from __future__ import annotations
 
 import argparse
-import html
 import json
 import sys
 from datetime import datetime, timezone
@@ -34,103 +33,15 @@ from .fidelity import (
     load_fidelity_artifact,
     load_results_summaries,
 )
+from .htmlutil import badge as _badge
+from .htmlutil import esc as _esc
+from .htmlutil import fmt_value as _fmt
+from .htmlutil import kv_table as _kv_table
+from .htmlutil import page as _page
+from .htmlutil import sparkline as _sparkline
+from .htmlutil import table as _table
 
 __all__ = ["render_report", "collect_bench_docs", "write_report", "main"]
-
-_CSS = """
-body { font-family: -apple-system, "Segoe UI", Helvetica, Arial, sans-serif;
-       margin: 2em auto; max-width: 70em; padding: 0 1em; color: #1a1a1a; }
-h1 { border-bottom: 2px solid #444; padding-bottom: .2em; }
-h2 { margin-top: 2em; border-bottom: 1px solid #bbb; padding-bottom: .15em; }
-table { border-collapse: collapse; margin: .8em 0; font-size: .92em; }
-th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
-th { background: #f0f0f0; }
-td.num { text-align: right; font-variant-numeric: tabular-nums; }
-.badge { display: inline-block; padding: .05em .55em; border-radius: .8em;
-         font-size: .85em; font-weight: 600; color: #fff; }
-.badge-match { background: #1a7f37; }
-.badge-drift { background: #b58900; }
-.badge-fail { background: #c0392b; }
-.badge-regression { background: #c0392b; }
-.badge-improvement { background: #1a7f37; }
-.badge-unchanged, .badge-added, .badge-removed, .badge-error,
-.badge-info { background: #6c757d; }
-.muted { color: #666; font-size: .9em; }
-.mono { font-family: ui-monospace, "SF Mono", Menlo, Consolas, monospace;
-        font-size: .88em; }
-details > summary { cursor: default; font-weight: 600; margin: .4em 0; }
-ul.tree { list-style: none; padding-left: 1.2em; margin: .3em 0; }
-ul.tree li { margin: .12em 0; }
-svg.spark { vertical-align: middle; }
-.warnbox { background: #fff6e0; border: 1px solid #e0c060;
-           padding: .4em .8em; border-radius: .3em; margin: .5em 0; }
-"""
-
-
-def _esc(value: Any) -> str:
-    return html.escape(str(value), quote=True)
-
-
-def _fmt(value: Any) -> str:
-    if isinstance(value, bool) or value is None:
-        return str(value)
-    if isinstance(value, float):
-        if value != value:
-            return "nan"
-        return f"{value:.5g}"
-    return str(value)
-
-
-def _badge(verdict: str) -> str:
-    cls = verdict if verdict in (
-        "match", "drift", "fail", "regression", "improvement",
-        "unchanged", "added", "removed", "error",
-    ) else "info"
-    return f'<span class="badge badge-{cls}">{_esc(verdict)}</span>'
-
-
-def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
-    """Rows are pre-rendered (possibly HTML) cell strings."""
-    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
-    body = "".join(
-        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
-        for row in rows
-    )
-    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
-
-
-def _kv_table(pairs: Mapping[str, Any]) -> str:
-    return _table(
-        ("key", "value"),
-        [(_esc(k), f'<span class="mono">{_esc(_fmt(v))}</span>')
-         for k, v in pairs.items()],
-    )
-
-
-def _sparkline(
-    values: Sequence[float], width: int = 120, height: int = 26
-) -> str:
-    """Inline SVG polyline over ``values`` (min-max normalised)."""
-    pts = [float(v) for v in values if v == v]
-    if len(pts) < 2:
-        return '<span class="muted">–</span>'
-    lo, hi = min(pts), max(pts)
-    span = (hi - lo) or 1.0
-    pad = 2.0
-    step = (width - 2 * pad) / (len(pts) - 1)
-    coords = " ".join(
-        f"{pad + i * step:.1f},{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
-        for i, v in enumerate(pts)
-    )
-    last_y = height - pad - (pts[-1] - lo) / span * (height - 2 * pad)
-    return (
-        f'<svg class="spark" width="{width}" height="{height}" '
-        f'viewBox="0 0 {width} {height}" role="img">'
-        f'<polyline points="{coords}" fill="none" stroke="#2a6fb0" '
-        f'stroke-width="1.5"/>'
-        f'<circle cx="{pad + (len(pts) - 1) * step:.1f}" cy="{last_y:.1f}" '
-        f'r="2.2" fill="#2a6fb0"/></svg>'
-    )
 
 
 # -- sections ------------------------------------------------------------------
@@ -472,13 +383,7 @@ def render_report(
             _section_results(results),
         )
     )
-    return (
-        "<!DOCTYPE html>\n"
-        '<html lang="en"><head><meta charset="utf-8">\n'
-        f"<title>{_esc(title)}</title>\n"
-        f"<style>{_CSS}</style>\n"
-        f"</head><body>\n{body}\n</body></html>\n"
-    )
+    return _page(title, body)
 
 
 def collect_bench_docs(directories: Sequence[str | Path]) -> list[dict[str, Any]]:
@@ -614,6 +519,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     elif args.manifest:
         print(f"error: no such manifest: {manifest_path}", file=sys.stderr)
+        return 2
+
+    if not results and manifest is None and not sorted(
+        results_dir.glob("FIDELITY_*.json")
+    ):
+        print(
+            f"error: no run artifacts under {results_dir} — run "
+            f"'repro-experiments --output {results_dir}' first",
+            file=sys.stderr,
+        )
         return 2
 
     trace_events = None

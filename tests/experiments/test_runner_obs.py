@@ -73,6 +73,71 @@ class TestObservedRun:
         assert not get_registry().enabled
         assert not get_trace().enabled
 
+    def test_manifest_records_audit_assumptions_outside_inputs_hash(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "artifacts"
+        assert (
+            main(
+                ["table1", "--output", str(out),
+                 "--price-usd-per-kwh", "0.25"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert manifest["audit"]["price_usd_per_kwh"] == 0.25
+        assert manifest["audit"]["carbon_g_per_kwh"] == 400.0
+        # provenance, not identity: like 'parallel', the assumptions sit
+        # outside the hashed inputs
+        assert "audit" not in manifest["inputs"]
+        assert manifest["inputs_hash"] == inputs_hash(manifest["inputs"])
+
+    def test_invalid_audit_assumption_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table1", "--output", str(tmp_path),
+                  "--price-usd-per-kwh", "-1"])
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+
+class TestFleetOut:
+    def test_fleet_out_writes_dashboard_and_artifact(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        fleet = out / "fleet.html"
+        code = main(
+            ["fig11", "fig12", "fig13", "table1",
+             "--output", str(out), "--fleet-out", str(fleet)]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "fleet dashboard:" in err and "fleet artifact:" in err
+        html = fleet.read_text()
+        assert "Executive summary" in html
+        assert "<script" not in html
+        assert "http" + "://" not in html
+        (fleet_json,) = out.glob("FLEET_*.json")
+        doc = json.loads(fleet_json.read_text())
+        assert doc["schema"] == "repro.fleet/v1"
+        # live fig12 run supplies the measured fleets
+        assert {"dedicated", "consolidated", "projected"} <= set(
+            doc["scenarios"]
+        )
+        assert doc["decision"]["recommendation"] == "consolidated"
+
+    def test_fleet_out_respects_assumption_flags(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        code = main(
+            ["fig12", "--output", str(out),
+             "--fleet-out", str(out / "fleet.html"),
+             "--carbon-g-per-kwh", "100"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        (fleet_json,) = out.glob("FLEET_*.json")
+        doc = json.loads(fleet_json.read_text())
+        assert doc["assumptions"]["carbon_g_per_kwh"] == 100.0
+
 
 class TestUnobservedRun:
     def test_plain_run_writes_nothing(self, tmp_path, capsys, monkeypatch):

@@ -176,6 +176,17 @@ class TestCli:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_empty_results_dir_one_line_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(["--results", str(empty), "--out", str(tmp_path / "r.html")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no run artifacts under")
+        assert "repro-experiments" in err
+        assert "Traceback" not in err
+        assert not (tmp_path / "r.html").exists()
+
     def test_explicit_missing_manifest_is_input_error(self, results_dir, tmp_path, capsys):
         code = main(
             [
