@@ -1,0 +1,32 @@
+"""Benchmark: batched Erlang-B inversion vs the scalar per-point loop.
+
+The same deterministic (rho, B) grid as the registered
+``vectorized_grid::*`` benchmarks (:mod:`repro.parallel.benchreg`),
+wrapped pytest-benchmark style for the discovered suite.  The vectorized
+test doubles as an exactness check: the lockstep kernel must reproduce
+the scalar loop's fleet sizes element for element — the compatibility
+contract that lets the golden pins survive the API redesign.
+
+The pytest variants run a 10k-point grid so a discovered-suite pass stays
+quick; the registered specs cover the gated 100k and headline 1M sizes.
+"""
+
+import pytest
+
+from repro.parallel.benchreg import solve_grid_scalar, solve_grid_vectorized
+
+POINTS = 10_000
+
+
+@pytest.mark.benchmark(group="vectorized-grid")
+def test_vectorized_grid_scalar(benchmark):
+    sizes = benchmark(solve_grid_scalar, POINTS)
+    assert len(sizes) == POINTS
+    # Fleet sizes grow with offered load across the grid.
+    assert sizes[-1] > sizes[0]
+
+
+@pytest.mark.benchmark(group="vectorized-grid")
+def test_vectorized_grid_vectorized_matches_scalar(benchmark):
+    sizes = benchmark(solve_grid_vectorized, POINTS)
+    assert (sizes == solve_grid_scalar(POINTS)).all()

@@ -29,6 +29,7 @@ from typing import Mapping
 from ..obs import get_registry
 from ..parallel.cache import cached_erlang_b as erlang_b
 from ..parallel.cache import cached_min_servers as min_servers
+from ..parallel.cache import cached_min_servers_grid as min_servers_grid
 from .inputs import ModelInputs, ResourceKind, ServiceSpec
 
 __all__ = [
@@ -186,15 +187,21 @@ class UtilityAnalyticModel:
     # -- dedicated scenario -------------------------------------------------
 
     def size_dedicated_service(self, service: ServiceSpec) -> DedicatedServiceSizing:
-        """Erlang-invert every resource the service touches (Eq. 3 + Fig. 4)."""
-        loads: dict[ResourceKind, float] = {}
-        counts: dict[ResourceKind, int] = {}
-        for resource in service.service_rates:
-            rho = service.offered_load(resource)
-            loads[resource] = rho
-            counts[resource] = min_servers(rho, self.inputs.loss_probability)
+        """Erlang-invert every resource the service touches (Eq. 3 + Fig. 4).
+
+        All of the service's per-resource loads go through the cache's
+        batched inversion in one call; insertion order of the result dicts
+        follows ``service.service_rates``, exactly as the scalar loop did.
+        """
+        resources = list(service.service_rates)
+        rhos = [service.offered_load(resource) for resource in resources]
+        counts = min_servers_grid(rhos, self.inputs.loss_probability)
         return DedicatedServiceSizing(
-            service=service, per_resource_load=loads, per_resource_servers=counts
+            service=service,
+            per_resource_load=dict(zip(resources, rhos)),
+            per_resource_servers={
+                resource: int(n) for resource, n in zip(resources, counts)
+            },
         )
 
     # -- consolidated scenario ----------------------------------------------
@@ -207,11 +214,14 @@ class UtilityAnalyticModel:
         }
 
     def size_consolidated(self) -> dict[ResourceKind, int]:
-        """``N_j`` per resource via the same Erlang inversion."""
-        return {
-            resource: min_servers(load, self.inputs.loss_probability)
-            for resource, load in self.consolidated_loads().items()
-        }
+        """``N_j`` per resource via the same (batched) Erlang inversion."""
+        loads = self.consolidated_loads()
+        resources = list(loads)
+        counts = min_servers_grid(
+            [loads[resource] for resource in resources],
+            self.inputs.loss_probability,
+        )
+        return {resource: int(n) for resource, n in zip(resources, counts)}
 
     # -- full solve ----------------------------------------------------------
 

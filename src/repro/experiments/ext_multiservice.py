@@ -21,9 +21,9 @@ from ..core import (
     utilization_report,
 )
 from ..obs import fidelity
-from ..parallel import sweep_map
+from ..parallel import sweep_grid
 from ..simulation.datacenter import DataCenterSimulation
-from .base import ExperimentResult, register
+from .base import ExperimentResult, ParamGrid, register
 
 __all__ = ["run", "FIVE_SERVICES"]
 
@@ -50,20 +50,30 @@ FIVE_SERVICES = (
 )
 
 
-def _des_task(task: tuple):
-    """One DES validation run (sweep-engine worker).
+def _des_point(kind: str, islands, servers: int, horizon: float, task_seed: int):
+    """One DES validation run.
 
     The two runs carry their own explicit seeds (``seed`` and ``seed+1``,
     exactly as the serial implementation always has), so ``base_seed`` is
     not used and the numbers are unchanged from the pre-engine code at
     every ``jobs`` value.
     """
-    kind, islands, servers, horizon, task_seed = task
     sim = DataCenterSimulation(ModelInputs(FIVE_SERVICES, loss_probability=0.01))
     rng = np.random.default_rng(task_seed)
     if kind == "case":
         return sim.run_case_study(islands, servers, horizon, rng)
     return sim.run_consolidated(servers, horizon, rng)
+
+
+def _des_block(block: ParamGrid) -> list:
+    """One column block of DES validation runs (sweep-engine worker)."""
+    return [
+        _des_point(
+            row["kind"], row["islands"], row["servers"], row["horizon"],
+            row["task_seed"],
+        )
+        for row in block.rows()
+    ]
 
 
 @register("ext-multiservice")
@@ -98,12 +108,20 @@ def run(seed: int = 2009, fast: bool = True, jobs: int = 1) -> ExperimentResult:
     offered_solution = UtilityAnalyticModel(inputs, load_model="offered").solve()
     horizon = 120.0 if fast else 1500.0
     islands = {s.service.name: s.servers for s in solution.dedicated}
-    case, paper_run = sweep_map(
-        _des_task,
-        [
-            ("case", islands, offered_solution.consolidated_servers, horizon, seed),
-            ("paper", None, solution.consolidated_servers, horizon, seed + 1),
-        ],
+    case, paper_run = sweep_grid(
+        _des_block,
+        ParamGrid(
+            {
+                "kind": ["case", "paper"],
+                "islands": [islands, None],
+                "servers": [
+                    offered_solution.consolidated_servers,
+                    solution.consolidated_servers,
+                ],
+                "horizon": [horizon, horizon],
+                "task_seed": [seed, seed + 1],
+            }
+        ),
         jobs=jobs,
         name="ext-multiservice",
     )

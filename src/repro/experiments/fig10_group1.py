@@ -17,23 +17,21 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..obs import fidelity
-from ..parallel import sweep_map
+from ..parallel import sweep_grid
 from ..simulation.datacenter import DataCenterSimulation
-from .base import ExperimentResult, register
+from .base import ExperimentResult, ParamGrid, register
 from .casestudy import CaseStudyGroup, GROUP1
 
 __all__ = ["run", "consolidation_sweep_rows"]
 
 
-def _deployment_task(task: tuple, *, seed: int) -> dict:
-    """One deployment point of a consolidation grid (sweep-engine worker).
+def _deployment_point(group: CaseStudyGroup, count, horizon: float, seed: int) -> dict:
+    """One deployment point of a consolidation grid.
 
-    ``task`` is ``(group, count, horizon)`` with ``count=None`` meaning
-    the dedicated islands.  Each point gets its own RNG stream derived
-    from the grid index, so the row is the same whichever worker — or how
-    many workers — the sweep engine uses.
+    ``count=None`` means the dedicated islands.  Each point gets its own
+    RNG stream derived from the grid index, so the row is the same
+    whichever worker — or how many workers — the sweep engine uses.
     """
-    group, count, horizon = task
     sim = DataCenterSimulation(group.inputs())
     rng = np.random.default_rng(seed)
     if count is None:
@@ -54,6 +52,19 @@ def _deployment_task(task: tuple, *, seed: int) -> dict:
     }
 
 
+def _deployment_block(block: ParamGrid, *, seeds: list[int]) -> list[dict]:
+    """One column block of deployments (sweep-engine worker).
+
+    DES points cannot share arithmetic, so the block is a plain loop —
+    the columnar win here is dispatch (one pickle per block, not per
+    point) while the seeds stay the per-row grid-index streams.
+    """
+    return [
+        _deployment_point(row["group"], row["count"], row["horizon"], seed)
+        for row, seed in zip(block.rows(), seeds)
+    ]
+
+
 def consolidation_sweep_rows(
     group: CaseStudyGroup,
     consolidated_counts: tuple[int, ...],
@@ -63,14 +74,20 @@ def consolidation_sweep_rows(
 ) -> list[dict]:
     """Rows comparing one dedicated deployment against several pool sizes.
 
-    The grid (dedicated + each pool size) runs through the parallel sweep
-    engine; rows are identical for every ``jobs`` value.
+    The grid (dedicated + each pool size) is columnar (:class:`ParamGrid`)
+    and runs through the parallel sweep engine's block path; rows are
+    identical for every ``jobs`` value.
     """
-    grid = [(group, None, horizon)] + [
-        (group, n, horizon) for n in consolidated_counts
-    ]
-    return sweep_map(
-        _deployment_task,
+    counts = [None, *consolidated_counts]
+    grid = ParamGrid(
+        {
+            "group": [group] * len(counts),
+            "count": counts,
+            "horizon": [horizon] * len(counts),
+        }
+    )
+    return sweep_grid(
+        _deployment_block,
         grid,
         jobs=jobs,
         base_seed=seed,

@@ -8,7 +8,10 @@ dedicated one (vs ~1.5x predicted by the model — "very close").
 
 The simulated counterpart reports both services' loss/throughput in each
 deployment and the measured CPU-utilization improvement next to the
-model's Eq. 11 prediction.
+model's Eq. 11 prediction.  The deployment sweep rides Fig. 10's
+columnar :func:`~repro.experiments.fig10_group1.consolidation_sweep_rows`
+(a :class:`~repro.experiments.base.ParamGrid` through the block sweep
+engine), so it inherits the same jobs-independent determinism.
 """
 
 from __future__ import annotations

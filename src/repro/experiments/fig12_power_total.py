@@ -20,22 +20,20 @@ import numpy as np
 
 from ..analysis.report import format_kv, format_table
 from ..obs import fidelity
-from ..parallel import sweep_map
+from ..parallel import sweep_grid
 from ..simulation.datacenter import CaseStudyResult, DataCenterSimulation
-from .base import ExperimentResult, register
+from .base import ExperimentResult, ParamGrid, register
 from .casestudy import GROUP2
 
 __all__ = ["run", "group2_case_study"]
 
 
-def _fleet_task(task: tuple, *, seed: int):
-    """Meter one Group 2 fleet (sweep-engine worker).
+def _fleet_point(fleet: str, horizon: float, seed: int):
+    """Meter one Group 2 fleet.
 
-    ``task`` is ``("dedicated" | "consolidated", horizon)``; each fleet
-    gets its own grid-index-derived RNG stream so the pair can be metered
-    on separate cores without perturbing either measurement.
+    Each fleet gets its own grid-index-derived RNG stream so the pair can
+    be metered on separate cores without perturbing either measurement.
     """
-    fleet, horizon = task
     sim = DataCenterSimulation(GROUP2.inputs())
     rng = np.random.default_rng(seed)
     if fleet == "dedicated":
@@ -43,12 +41,26 @@ def _fleet_task(task: tuple, *, seed: int):
     return sim.run_consolidated(GROUP2.expected_consolidated, horizon, rng)
 
 
+def _fleet_block(block: ParamGrid, *, seeds: list[int]) -> list:
+    """One column block of fleet meterings (sweep-engine worker)."""
+    return [
+        _fleet_point(row["fleet"], row["horizon"], seed)
+        for row, seed in zip(block.rows(), seeds)
+    ]
+
+
 def group2_case_study(seed: int, fast: bool, jobs: int = 1) -> CaseStudyResult:
     """Shared Group 2 run for the two power figures (engine-routed)."""
     horizon = 150.0 if fast else 2000.0
-    dedicated, consolidated = sweep_map(
-        _fleet_task,
-        [("dedicated", horizon), ("consolidated", horizon)],
+    grid = ParamGrid(
+        {
+            "fleet": ["dedicated", "consolidated"],
+            "horizon": [horizon, horizon],
+        }
+    )
+    dedicated, consolidated = sweep_grid(
+        _fleet_block,
+        grid,
         jobs=jobs,
         base_seed=seed,
         name="power:group2",

@@ -6,7 +6,10 @@ Subcommands:
 - ``compare``  verdict table between a baseline artifact and a new one;
 - ``merge``    pool repeats of several same-suite runs into one artifact
   (how committed baselines are refreshed — see ``merge_artifacts``);
-- ``report``   pretty-print a single artifact.
+- ``report``   pretty-print a single artifact;
+- ``ratio``    throughput ratio between two benchmarks of one artifact,
+  with an optional ``--min-ratio`` floor (exit 1 below it) — the CI gate
+  keeping the vectorized Erlang kernel >= 10x the scalar loop.
 
 ``run`` executes the on-disk pytest-benchmark suites (``benchmarks/``) via
 the fixture adapter in :mod:`repro.obs.bench` plus anything registered with
@@ -168,6 +171,48 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _cmd_ratio(args) -> int:
+    doc = _load(args.artifact)
+    if doc is None:
+        return 2
+    by_name = {e["name"]: e for e in doc["benchmarks"]}
+    entries = []
+    for name in (args.slow, args.fast):
+        entry = by_name.get(name)
+        if entry is None:
+            print(
+                f"error: benchmark {name!r} not in artifact "
+                f"(has: {sorted(by_name)})",
+                file=sys.stderr,
+            )
+            return 2
+        if not entry["ok"]:
+            print(
+                f"error: benchmark {name!r} failed: {entry.get('error')}",
+                file=sys.stderr,
+            )
+            return 2
+        entries.append(entry)
+    slow_s = entries[0][args.metric]["median"]
+    fast_s = entries[1][args.metric]["median"]
+    if fast_s <= 0.0:
+        print(f"error: {args.fast} recorded a non-positive median", file=sys.stderr)
+        return 2
+    ratio = slow_s / fast_s
+    print(
+        f"{args.slow}: {_fmt_s(slow_s)}  /  {args.fast}: {_fmt_s(fast_s)}"
+        f"  ->  {ratio:.1f}x"
+    )
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(
+            f"FAIL: ratio {ratio:.1f}x is below the required "
+            f"{args.min_ratio:g}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     doc = _load(args.artifact)
     if doc is None:
@@ -275,6 +320,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     rep_p = sub.add_parser("report", help="pretty-print one artifact")
     rep_p.add_argument("artifact", help="BENCH_*.json to show")
     rep_p.set_defaults(fn=_cmd_report)
+
+    ratio_p = sub.add_parser(
+        "ratio",
+        help="throughput ratio slow/fast between two benchmarks of one "
+        "artifact, with an optional floor",
+    )
+    ratio_p.add_argument("artifact", help="BENCH_*.json holding both benchmarks")
+    ratio_p.add_argument("slow", help="name of the slow (numerator) benchmark")
+    ratio_p.add_argument("fast", help="name of the fast (denominator) benchmark")
+    ratio_p.add_argument(
+        "--metric", choices=("wall_s", "cpu_s"), default="wall_s"
+    )
+    ratio_p.add_argument(
+        "--min-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 when slow/fast falls below this speedup factor",
+    )
+    ratio_p.set_defaults(fn=_cmd_ratio)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -12,11 +12,19 @@ from .cache import (
     cached_erlang_b,
     cached_min_servers,
     cached_min_servers_continuous,
+    cached_min_servers_grid,
     configure_shared_cache,
     record_cache_metrics,
     shared_cache,
 )
-from .sweep import ParallelSweep, SweepStats, chunk_grid, seed_for, sweep_map
+from .sweep import (
+    ParallelSweep,
+    SweepStats,
+    chunk_grid,
+    seed_for,
+    sweep_grid,
+    sweep_map,
+)
 
 __all__ = [
     "ErlangCache",
@@ -25,10 +33,12 @@ __all__ = [
     "cached_erlang_b",
     "cached_min_servers",
     "cached_min_servers_continuous",
+    "cached_min_servers_grid",
     "chunk_grid",
     "configure_shared_cache",
     "record_cache_metrics",
     "seed_for",
     "shared_cache",
+    "sweep_grid",
     "sweep_map",
 ]

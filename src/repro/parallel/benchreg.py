@@ -21,15 +21,26 @@ which is itself worth tracking).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..obs.bench import bench
+from ..queueing import vectorized
 from ..queueing.erlang import erlang_b, min_servers
 from .sweep import sweep_map
 
 __all__ = [
     "GRID",
+    "VEC_GRID_POINTS",
+    "VEC_GRID_MILLION",
     "bench_parallel_sweep_jobs4",
     "bench_parallel_sweep_serial",
+    "bench_vectorized_grid_million",
+    "bench_vectorized_grid_scalar",
+    "bench_vectorized_grid_vectorized",
     "run_sweep",
+    "solve_grid_scalar",
+    "solve_grid_vectorized",
+    "vec_grid",
 ]
 
 #: Offered loads spanning the model's operating range (small web islands
@@ -57,3 +68,54 @@ def bench_parallel_sweep_serial() -> list[tuple[int, float]]:
 @bench(name="parallel_sweep::jobs4", group="parallel-sweep")
 def bench_parallel_sweep_jobs4() -> list[tuple[int, float]]:
     return run_sweep(4)
+
+
+# -- vectorized grid: one batched call vs a per-point scalar loop --------------
+#
+# The ``vectorized_grid::*`` pair backs the CI throughput-ratio gate: the
+# batched lockstep kernel must stay >= 10x the scalar loop on the
+# 100k-point grid (see ``repro-bench ratio``).  Both run the identical
+# deterministic grid through the *uncached* entry points, so the artifact
+# measures arithmetic dispatch, not memoization.
+
+#: Grid size of the ratio-gated pair.
+VEC_GRID_POINTS = 100_000
+#: Grid size of the headline single-call benchmark (acceptance: < 60 s).
+VEC_GRID_MILLION = 1_000_000
+
+
+def vec_grid(points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic (rho, B) grid over the model's operating range."""
+    rho = np.linspace(0.5, 120.0, points)
+    target = np.full(points, 0.01)
+    return rho, target
+
+
+def solve_grid_scalar(points: int) -> np.ndarray:
+    """The pre-vectorization idiom: one scalar inversion per grid point."""
+    rho, target = vec_grid(points)
+    return np.asarray(
+        [min_servers(float(r), float(t)) for r, t in zip(rho, target)],
+        dtype=np.int64,
+    )
+
+
+def solve_grid_vectorized(points: int) -> np.ndarray:
+    """The batched idiom: the whole grid in one lockstep call."""
+    rho, target = vec_grid(points)
+    return vectorized.min_servers(rho, target)
+
+
+@bench(name="vectorized_grid::scalar", group="vectorized-grid")
+def bench_vectorized_grid_scalar() -> np.ndarray:
+    return solve_grid_scalar(VEC_GRID_POINTS)
+
+
+@bench(name="vectorized_grid::vectorized", group="vectorized-grid")
+def bench_vectorized_grid_vectorized() -> np.ndarray:
+    return solve_grid_vectorized(VEC_GRID_POINTS)
+
+
+@bench(name="vectorized_grid::vectorized_1m", group="vectorized-grid")
+def bench_vectorized_grid_million() -> np.ndarray:
+    return solve_grid_vectorized(VEC_GRID_MILLION)

@@ -9,11 +9,14 @@ into a dict lookup.
 
 Correctness contract:
 
-- keys are ``(rho, B)`` rounded to a fixed number of decimals
-  (:attr:`ErlangCache.RHO_DECIMALS` / :attr:`ErlangCache.TARGET_DECIMALS`);
-  two inputs share an entry only if they agree to that tolerance, which is
-  far below the step-function granularity of ``min_servers`` everywhere
-  except exactly at a step boundary;
+- keys are ``(rho, B)`` rounded to a configurable number of decimals
+  (``rho_decimals`` / ``target_decimals`` constructor parameters,
+  defaulting to :attr:`ErlangCache.RHO_DECIMALS` /
+  :attr:`ErlangCache.TARGET_DECIMALS`); two inputs share an entry only if
+  they agree to that tolerance, which is far below the step-function
+  granularity of ``min_servers`` everywhere except exactly at a step
+  boundary.  The active precision is part of :meth:`ErlangCache.stats`,
+  so every run manifest records it under ``parallel.cache``;
 - values are computed by the *uncached* solvers on first miss and returned
   verbatim afterwards — the cache can change timing, never numbers, for
   any inputs that are representable on the rounding grid (the property
@@ -35,7 +38,9 @@ import threading
 from collections import OrderedDict
 from typing import Callable
 
-from ..queueing import erlang
+import numpy as np
+
+from ..queueing import erlang, vectorized
 
 __all__ = [
     "ErlangCache",
@@ -43,6 +48,7 @@ __all__ = [
     "configure_shared_cache",
     "cached_min_servers",
     "cached_min_servers_continuous",
+    "cached_min_servers_grid",
     "cached_erlang_b",
     "record_cache_metrics",
 ]
@@ -55,17 +61,38 @@ class ErlangCache:
     :func:`shared_cache`.
     """
 
-    #: Rounding tolerance of the cache key, in decimal places.  1e-9 in
-    #: offered load is ~1 request/year of drift at the paper's scales.
+    #: Default rounding tolerance of the cache key, in decimal places.
+    #: 1e-9 in offered load is ~1 request/year of drift at the paper's
+    #: scales.
     RHO_DECIMALS = 9
     #: Blocking targets are probabilities; 12 decimals keeps distinct QoS
     #: classes (paper uses 1e-2..1e-4) unambiguously apart.
     TARGET_DECIMALS = 12
 
-    def __init__(self, maxsize: int = 65536) -> None:
+    def __init__(
+        self,
+        maxsize: int = 65536,
+        *,
+        rho_decimals: int | None = None,
+        target_decimals: int | None = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        rho_decimals = self.RHO_DECIMALS if rho_decimals is None else rho_decimals
+        target_decimals = (
+            self.TARGET_DECIMALS if target_decimals is None else target_decimals
+        )
+        if rho_decimals < 0:
+            raise ValueError(
+                f"rho_decimals must be non-negative, got {rho_decimals}"
+            )
+        if target_decimals < 0:
+            raise ValueError(
+                f"target_decimals must be non-negative, got {target_decimals}"
+            )
         self.maxsize = maxsize
+        self.rho_decimals = rho_decimals
+        self.target_decimals = target_decimals
         self._store: OrderedDict[tuple, object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -74,17 +101,16 @@ class ErlangCache:
 
     # -- key construction -------------------------------------------------------------
 
-    @classmethod
-    def key_for(cls, kind: str, *args: float) -> tuple:
+    def key_for(self, kind: str, *args: float) -> tuple:
         """The exact store key used for a lookup (exposed for the tests)."""
         if kind == "erlang_b":
             n, rho = args
-            return ("erlang_b", int(n), round(float(rho), cls.RHO_DECIMALS))
+            return ("erlang_b", int(n), round(float(rho), self.rho_decimals))
         rho, target = args
         return (
             kind,
-            round(float(rho), cls.RHO_DECIMALS),
-            round(float(target), cls.TARGET_DECIMALS),
+            round(float(rho), self.rho_decimals),
+            round(float(target), self.target_decimals),
         )
 
     # -- core lookup ------------------------------------------------------------------
@@ -128,6 +154,57 @@ class ErlangCache:
         key = self.key_for("erlang_b", n, rho)
         return self._lookup(key, lambda: erlang.erlang_b(n, rho))
 
+    # -- batched solver ---------------------------------------------------------------
+
+    def min_servers_grid(self, rho, blocking_target):
+        """Memoized batched inversion over aligned ``(rho, B)`` arrays.
+
+        Known points are answered from the store; every miss in the batch
+        is solved in ONE call to the vectorized lockstep kernel
+        (:func:`repro.queueing.vectorized.min_servers`) and written back.
+        Returns an ``int64`` array of the broadcast shape.  Counters move
+        exactly as if each point had gone through :meth:`min_servers`,
+        and since the vectorized kernel is bit-identical to the scalar
+        scan, so do the cached values.
+        """
+        rho_arr, tgt_arr = np.broadcast_arrays(
+            np.asarray(rho, dtype=np.float64),
+            np.asarray(blocking_target, dtype=np.float64),
+        )
+        shape = rho_arr.shape
+        rho_flat = np.ascontiguousarray(rho_arr).reshape(-1)
+        tgt_flat = np.ascontiguousarray(tgt_arr).reshape(-1)
+        out = np.empty(rho_flat.shape, dtype=np.int64)
+        keys = [
+            self.key_for("min_servers", r, t)
+            for r, t in zip(rho_flat.tolist(), tgt_flat.tolist())
+        ]
+        miss_idx: list[int] = []
+        with self._lock:
+            for i, key in enumerate(keys):
+                if key in self._store:
+                    self._store.move_to_end(key)
+                    self.hits += 1
+                    out[i] = self._store[key]
+                else:
+                    miss_idx.append(i)
+        if miss_idx:
+            idx = np.asarray(miss_idx, dtype=np.intp)
+            # One vectorized solve for the whole miss set (outside the
+            # lock, same rationale as _lookup).  Duplicate keys inside the
+            # batch cost one extra lockstep lane, never a wrong answer.
+            solved = vectorized.min_servers(rho_flat[idx], tgt_flat[idx])
+            out[idx] = solved
+            with self._lock:
+                for i, value in zip(miss_idx, solved.tolist()):
+                    self.misses += 1
+                    self._store[keys[i]] = value
+                    self._store.move_to_end(keys[i])
+                while len(self._store) > self.maxsize:
+                    self._store.popitem(last=False)
+                    self.evictions += 1
+        return out.reshape(shape)
+
     # -- introspection ----------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -143,6 +220,8 @@ class ErlangCache:
                 "evictions": self.evictions,
                 "size": len(self._store),
                 "maxsize": self.maxsize,
+                "rho_decimals": self.rho_decimals,
+                "target_decimals": self.target_decimals,
             }
 
     def clear(self) -> None:
@@ -167,11 +246,25 @@ def shared_cache() -> ErlangCache:
     return _shared
 
 
-def configure_shared_cache(maxsize: int) -> ErlangCache:
-    """Replace the shared cache with a fresh one bounded at ``maxsize``."""
+def configure_shared_cache(
+    maxsize: int,
+    *,
+    rho_decimals: int | None = None,
+    target_decimals: int | None = None,
+) -> ErlangCache:
+    """Replace the shared cache with a fresh one bounded at ``maxsize``.
+
+    ``rho_decimals`` / ``target_decimals`` override the key-rounding
+    precision (default: class attributes); the active values are reported
+    by :meth:`ErlangCache.stats` and therefore land in run manifests.
+    """
     global _shared
     with _shared_lock:
-        _shared = ErlangCache(maxsize=maxsize)
+        _shared = ErlangCache(
+            maxsize=maxsize,
+            rho_decimals=rho_decimals,
+            target_decimals=target_decimals,
+        )
         return _shared
 
 
@@ -183,6 +276,11 @@ def cached_min_servers(rho: float, blocking_target: float) -> int:
 def cached_min_servers_continuous(rho: float, blocking_target: float) -> int:
     """Shared-cache front end for the bisection inversion."""
     return _shared.min_servers_continuous(rho, blocking_target)
+
+
+def cached_min_servers_grid(rho, blocking_target):
+    """Shared-cache front end for the batched inversion over a grid."""
+    return _shared.min_servers_grid(rho, blocking_target)
 
 
 def cached_erlang_b(n: int, rho: float) -> float:

@@ -47,6 +47,7 @@ __all__ = [
     "ParallelSweep",
     "SweepStats",
     "sweep_map",
+    "sweep_grid",
 ]
 
 
@@ -91,6 +92,38 @@ def _run_chunk(
             results.append(fn(item))
         else:
             results.append(fn(item, seed=seed_for(base_seed, start_index + offset)))
+    after = cache.stats()
+    delta = {key: after[key] - before[key] for key in ("hits", "misses", "evictions")}
+    return results, delta
+
+
+def _run_grid_chunk(
+    fn: Callable[..., Any],
+    base_seed: int | None,
+    start_index: int,
+    block: Any,
+) -> tuple[list, dict[str, int]]:
+    """Run one contiguous column block; returns results + cache deltas.
+
+    The columnar analogue of :func:`_run_chunk`: ``fn`` receives the whole
+    block (a :class:`repro.experiments.base.ParamGrid` slice) at once,
+    plus per-row seeds derived from the rows' positions in the *original*
+    grid — the same ``seed_for(base_seed, index)`` values the per-point
+    path would have used, so block boundaries cannot perturb any random
+    stream.  ``fn`` must return one result per row.
+    """
+    cache = shared_cache()
+    before = cache.stats()
+    if base_seed is None:
+        results = list(fn(block))
+    else:
+        seeds = [seed_for(base_seed, start_index + i) for i in range(len(block))]
+        results = list(fn(block, seeds=seeds))
+    if len(results) != len(block):
+        raise ValueError(
+            f"grid task returned {len(results)} results for a "
+            f"{len(block)}-row block"
+        )
     after = cache.stats()
     delta = {key: after[key] - before[key] for key in ("hits", "misses", "evictions")}
     return results, delta
@@ -198,27 +231,72 @@ class ParallelSweep:
         self._record(stats)
         return merged
 
-    def _run_serial(self, chunks: list[tuple[int, list]]) -> list:
+    def run_grid(self, grid: Any) -> list:
+        """Evaluate a *block* task function over a columnar grid.
+
+        ``grid`` is any columnar container with ``__len__`` and
+        ``blocks(chunk_size)`` — in practice a
+        :class:`repro.experiments.base.ParamGrid` (duck-typed here so the
+        engine stays import-free of the experiments layer).  ``fn`` is
+        called as ``fn(block)`` (or ``fn(block, seeds=[...])`` when
+        ``base_seed`` is set) and must return one result per block row;
+        results come back stitched in grid order.  Chunking, pooling,
+        seed derivation, and cache accounting all match :meth:`run`, so
+        the jobs∈{1,N} bit-identity contract carries over verbatim.
+        """
+        stats = SweepStats(jobs=self.jobs, tasks=len(grid))
+        self.stats = stats
+        if not len(grid):
+            return []
+        t0 = perf_counter()
+        parent_before = shared_cache().stats()
+        chunks = list(grid.blocks(self._resolved_chunk_size(len(grid))))
+        stats.chunks = len(chunks)
+
+        if self.jobs == 1 or len(chunks) == 1:
+            merged = self._run_serial(chunks, runner=_run_grid_chunk)
+        else:
+            merged = self._run_pool(chunks, stats, runner=_run_grid_chunk)
+        parent_after = shared_cache().stats()
+        stats.cache_hits += parent_after["hits"] - parent_before["hits"]
+        stats.cache_misses += parent_after["misses"] - parent_before["misses"]
+        stats.cache_evictions += (
+            parent_after["evictions"] - parent_before["evictions"]
+        )
+        stats.wall_s = perf_counter() - t0
+        self._record(stats)
+        return merged
+
+    def _run_serial(
+        self,
+        chunks: list[tuple[int, Any]],
+        runner: Callable[..., tuple[list, dict[str, int]]] = _run_chunk,
+    ) -> list:
         out: list = []
         for start, items in chunks:
             # The inline chunk mutates the parent cache directly; run()
             # measures that as one delta around the whole sweep.
-            results, _delta = _run_chunk(self.fn, self.base_seed, start, items)
+            results, _delta = runner(self.fn, self.base_seed, start, items)
             out.extend(results)
         return out
 
-    def _run_pool(self, chunks: list[tuple[int, list]], stats: SweepStats) -> list:
+    def _run_pool(
+        self,
+        chunks: list[tuple[int, Any]],
+        stats: SweepStats,
+        runner: Callable[..., tuple[list, dict[str, int]]] = _run_chunk,
+    ) -> list:
         try:
             executor = ProcessPoolExecutor(max_workers=self.jobs)
         except (OSError, PermissionError, ValueError) as exc:
             get_trace().warning(
                 "sweep_pool_unavailable", sweep=self.name, error=str(exc)
             )
-            return self._run_serial(chunks)
+            return self._run_serial(chunks, runner=runner)
         worker_deltas: list[dict[str, int]] = []
         with executor:
             futures = [
-                executor.submit(_run_chunk, self.fn, self.base_seed, start, items)
+                executor.submit(runner, self.fn, self.base_seed, start, items)
                 for start, items in chunks
             ]
             # Futures are consumed in submission order, which is grid
@@ -295,3 +373,18 @@ def sweep_map(
     return ParallelSweep(
         fn, jobs=jobs, chunk_size=chunk_size, base_seed=base_seed, name=name
     ).run(grid)
+
+
+def sweep_grid(
+    fn: Callable[..., Any],
+    grid: Any,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    base_seed: int | None = None,
+    name: str = "sweep",
+) -> list:
+    """One-shot :meth:`ParallelSweep.run_grid` convenience wrapper."""
+    return ParallelSweep(
+        fn, jobs=jobs, chunk_size=chunk_size, base_seed=base_seed, name=name
+    ).run_grid(grid)

@@ -6,8 +6,13 @@ theory" is implemented here from first principles:
 - :mod:`repro.queueing.distributions` — service-time laws (M/G/n/n works
   for any of them by insensitivity);
 - :mod:`repro.queueing.poisson` — arrival processes and superposition;
-- :mod:`repro.queueing.erlang` — the Erlang loss formula, its recurrence
-  (paper Eq. 2), continuous extension, and inversions;
+- :mod:`repro.queueing.vectorized` — the Erlang loss formula, its
+  recurrence (paper Eq. 2), continuous extension, and inversions, batched:
+  every function broadcasts over numpy ``(rho, B)`` / ``(n, rho)`` grids
+  and returns plain scalars for plain-scalar input;
+- :mod:`repro.queueing.erlang` — the historical scalar surface, now thin
+  wrappers over the vectorized core (same values bit for bit, same
+  ``ValueError`` text);
 - :mod:`repro.queueing.mmn` — packaged loss/delay system metrics, delay
   sizing, and waiting-time percentiles;
 - :mod:`repro.queueing.birth_death` — derivation-independent cross-check;
@@ -35,13 +40,21 @@ from .engset import (
     engset_min_servers,
     engset_time_congestion,
 )
+from . import vectorized
 from .erlang import (
-    erlang_b,
-    erlang_b_continuous,
-    erlang_b_log,
+    erlang_b_derivative_n,
     erlang_b_recurrence,
     erlang_c,
     max_load_for_blocking,
+)
+
+# The canonical Erlang entry points are the batched (polymorphic) forms:
+# scalars in -> scalars out, arrays in -> arrays of the broadcast shape.
+# Scalar callers see the exact historical behaviour (see DESIGN.md).
+from .vectorized import (
+    erlang_b,
+    erlang_b_continuous,
+    erlang_b_log,
     min_servers,
     min_servers_continuous,
     offered_load,
@@ -79,10 +92,12 @@ __all__ = [
     "ParetoBounded",
     "Empirical",
     "as_distribution",
+    "vectorized",
     "erlang_b",
     "erlang_b_recurrence",
     "erlang_b_log",
     "erlang_b_continuous",
+    "erlang_b_derivative_n",
     "erlang_c",
     "min_servers",
     "min_servers_continuous",

@@ -1,4 +1,4 @@
-"""Erlang loss (Erlang B) and delay (Erlang C) formulas.
+"""Erlang loss (Erlang B) and delay (Erlang C) formulas — scalar surface.
 
 This is the mathematical heart of the paper: the utility analytic model
 computes, for every (service, resource) pair, the minimum number of servers
@@ -9,22 +9,28 @@ iterative recurrence (their Eq. 2)::
     E_0(rho) = 1
     E_n(rho) = rho * E_{n-1}(rho) / (n + rho * E_{n-1}(rho))
 
-which we implement directly (:func:`erlang_b`), plus a log-domain variant
-that stays finite for very large ``rho`` (:func:`erlang_b_log`), a
-continuous extension in ``n`` via the regularised incomplete gamma function
-(:func:`erlang_b_continuous`) used for cross-validation, and the inversion
-:func:`min_servers` implementing the paper's Fig. 4 inner loop.
+The implementations live in :mod:`repro.queueing.vectorized`, which solves
+whole (rho, B) grids in one call.  This module keeps the historical scalar
+API as thin wrappers over the vectorized core's scalar fast path.
+
+Compatibility contract (see DESIGN.md): every function here accepts and
+returns plain Python scalars, executes the exact float64 operation sequence
+the pre-vectorization code executed (so golden pins and the jobs∈{1,2,4}
+determinism suite stay bit-identical), and raises ``ValueError`` with text
+identical to the batched entry points.
 """
 
 from __future__ import annotations
 
-import math
-from time import perf_counter
+import warnings
 
-import numpy as np
-from scipy import special
-
-from ..obs import get_registry
+from . import vectorized as _vec
+from .vectorized import (  # noqa: F401  (re-exported for compatibility)
+    _MAX_SERVERS,
+    _record_inversion,
+    _validate_load,
+    _validate_target,
+)
 
 __all__ = [
     "offered_load",
@@ -39,37 +45,6 @@ __all__ = [
     "max_load_for_blocking",
 ]
 
-_MAX_SERVERS = 50_000_000
-
-
-def _validate_load(rho: float) -> None:
-    """Reject loads the formulas cannot answer sensibly.
-
-    A NaN load slips through ``rho < 0`` comparisons and silently turns
-    every downstream answer into nonsense (``min_servers`` used to return
-    0 for it); an infinite load sends the inversion scanning toward the
-    50M-server ceiling.  Both are caller bugs — fail loudly.
-    """
-    if not math.isfinite(rho):
-        raise ValueError(f"offered load must be finite, got {rho}")
-    if rho < 0.0:
-        raise ValueError(f"offered load must be non-negative, got {rho}")
-
-
-def _validate_target(blocking_target: float) -> None:
-    """Blocking targets are probabilities strictly inside (0, 1).
-
-    ``B = 0`` has no finite answer (blocking is positive for every finite
-    ``n`` when ``rho > 0``) and ``B = 1`` makes every ``n`` a solution;
-    NaN fails the chained comparison too, but gets its own message.
-    """
-    if not math.isfinite(blocking_target):
-        raise ValueError(f"blocking target must be finite, got {blocking_target}")
-    if not 0.0 < blocking_target < 1.0:
-        raise ValueError(
-            f"blocking target must lie in (0, 1), got {blocking_target}"
-        )
-
 
 def offered_load(arrival_rate: float, service_rate: float) -> float:
     """Traffic intensity ``rho = lambda / mu`` (paper Eq. 3).
@@ -77,39 +52,32 @@ def offered_load(arrival_rate: float, service_rate: float) -> float:
     ``service_rate = inf`` (a resource the service barely touches, like the
     DB service's disk I/O in the paper, ``mu_di ~ inf``) yields zero load.
     """
-    if not math.isfinite(arrival_rate):
-        raise ValueError(f"arrival rate must be finite, got {arrival_rate}")
-    if arrival_rate < 0.0:
-        raise ValueError(f"arrival rate must be non-negative, got {arrival_rate}")
-    if math.isnan(service_rate):
-        raise ValueError(f"service rate must not be NaN, got {service_rate}")
-    if service_rate <= 0.0:
-        raise ValueError(f"service rate must be positive, got {service_rate}")
-    if math.isinf(service_rate):
-        return 0.0
-    return arrival_rate / service_rate
-
-
-def erlang_b_recurrence(n: int, rho: float) -> float:
-    """Blocking probability of an M/G/n/n loss system via the recurrence.
-
-    This is a verbatim implementation of the paper's Eq. (2).  Exact and
-    numerically stable (every iterate lies in ``(0, 1]``), cost ``O(n)``.
-    """
-    if n < 0:
-        raise ValueError(f"number of servers must be non-negative, got {n}")
-    _validate_load(rho)
-    if rho == 0.0:
-        return 1.0 if n == 0 else 0.0
-    b = 1.0
-    for k in range(1, n + 1):
-        b = rho * b / (k + rho * b)
-    return b
+    return _vec.offered_load(float(arrival_rate), float(service_rate))
 
 
 def erlang_b(n: int, rho: float) -> float:
-    """Blocking probability ``E_n(rho)``; alias of the recurrence form."""
-    return erlang_b_recurrence(n, rho)
+    """Blocking probability of an M/G/n/n loss system via the recurrence.
+
+    A verbatim implementation of the paper's Eq. (2).  Exact and numerically
+    stable (every iterate lies in ``(0, 1]``), cost ``O(n)``.  For whole
+    grids, pass arrays to :func:`repro.queueing.vectorized.erlang_b`.
+    """
+    return _vec.erlang_b(int(n), float(rho))
+
+
+def erlang_b_recurrence(n: int, rho: float) -> float:
+    """Deprecated alias of :func:`erlang_b` (the recurrence *is* erlang_b).
+
+    Kept as a shim for pre-vectorization callers; use :func:`erlang_b`
+    directly (scalar) or :func:`repro.queueing.vectorized.erlang_b` (grids).
+    """
+    warnings.warn(
+        "erlang_b_recurrence is deprecated; use erlang_b "
+        "(or repro.queueing.vectorized.erlang_b for grids)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _vec.erlang_b(int(n), float(rho))
 
 
 def erlang_b_log(n: int, rho: float) -> float:
@@ -121,45 +89,18 @@ def erlang_b_log(n: int, rho: float) -> float:
     summation of ``rho^k/k!`` would overflow long before the recurrence
     finishes.  Used for cross-validation and the very-large-scale planner.
     """
-    if n < 0:
-        raise ValueError(f"number of servers must be non-negative, got {n}")
-    _validate_load(rho)
-    if rho == 0.0:
-        return 1.0 if n == 0 else 0.0
-    k = np.arange(n + 1)
-    log_terms = k * math.log(rho) - special.gammaln(k + 1)
-    return float(np.exp(log_terms[-1] - special.logsumexp(log_terms)))
+    return _vec.erlang_b_log(int(n), float(rho))
 
 
 def erlang_b_continuous(n: float, rho: float) -> float:
     """Continuous extension of Erlang B to real ``n >= 0``.
 
-    Uses the classical identity ``1/E_n(rho) = rho^{-n} e^{rho} Gamma(n+1)
-    Q(n+1, rho) * ...`` expressed via the regularised upper incomplete gamma
-    function::
-
-        E_n(rho) = rho^n e^{-rho} / Gamma(n+1) / Q(n+1, rho)... (equivalent)
-
-    computed here through the numerically robust form
-
-        E_n(rho) = pdf / (pdf + P(n+1, rho) * 0 + Q ... )
-
-    Concretely we use ``E_n(rho) = g / Q`` where ``g = exp(n log rho - rho -
-    gammaln(n+1))`` is the Poisson(rho) "pmf" at ``n`` and ``Q =
-    gammaincc(n+1, rho) + g * 0`` — the survival function of a Gamma(n+1)
-    variate at ``rho`` equals ``P(Poisson(rho) <= n)``.
+    ``E_n(rho) = g / Q`` where ``g = exp(n log rho - rho - gammaln(n+1))``
+    is the Poisson(rho) "pmf" at ``n`` and ``Q = gammaincc(n+1, rho)`` —
+    the survival function of a Gamma(n+1) variate at ``rho`` equals
+    ``P(Poisson(rho) <= n)``.
     """
-    if n < 0:
-        raise ValueError(f"number of servers must be non-negative, got {n}")
-    _validate_load(rho)
-    if rho == 0.0:
-        return 1.0 if n == 0 else 0.0
-    log_g = n * math.log(rho) - rho - special.gammaln(n + 1.0)
-    # P(Poisson(rho) <= n) == gammaincc(n+1, rho)  (regularised upper gamma).
-    cdf = special.gammaincc(n + 1.0, rho)
-    if cdf <= 0.0:
-        return 1.0
-    return float(min(1.0, math.exp(log_g) / cdf))
+    return _vec.erlang_b_continuous(float(n), float(rho))
 
 
 def erlang_b_derivative_n(n: float, rho: float, eps: float = 1e-6) -> float:
@@ -194,54 +135,16 @@ def erlang_c(n: int, rho: float) -> float:
 def min_servers(rho: float, blocking_target: float) -> int:
     """Smallest ``n`` with ``E_n(rho) <= blocking_target``.
 
-    This is the inner loop of the paper's Fig. 4 algorithm: iterate the
-    recurrence, incrementing ``n`` until the target is first met.  The
-    recurrence makes the scan ``O(n_final)`` overall since each step reuses
-    the previous blocking value.
+    The inner loop of the paper's Fig. 4 algorithm: iterate the recurrence,
+    incrementing ``n`` until the target is first met.  ``O(n_final)``
+    overall since each step reuses the previous blocking value.  For whole
+    grids, pass arrays to :func:`repro.queueing.vectorized.min_servers`.
 
     When observability is enabled (:mod:`repro.obs`) each call records the
     iteration count and elapsed time under the ``erlang_inversion_*``
     metrics with ``method="recurrence"``.
     """
-    _validate_target(blocking_target)
-    _validate_load(rho)
-    if rho == 0.0:
-        return 0
-    registry = get_registry()
-    t0 = perf_counter() if registry.enabled else 0.0
-    b = 1.0  # E_0(rho) = 1 for rho > 0
-    n = 0
-    while b > blocking_target:
-        n += 1
-        b = rho * b / (n + rho * b)
-        if n > _MAX_SERVERS:  # pragma: no cover - defensive
-            raise RuntimeError(
-                f"min_servers did not converge below {blocking_target} "
-                f"within {_MAX_SERVERS} servers (rho={rho})"
-            )
-    if registry.enabled:
-        _record_inversion(registry, "recurrence", n, perf_counter() - t0)
-    return n
-
-
-def _record_inversion(registry, method: str, iterations: int, elapsed: float) -> None:
-    """Account one Erlang inversion on an enabled registry."""
-    labels = {"method": method}
-    registry.counter(
-        "erlang_inversion_calls_total",
-        help="Erlang-B inversions solved",
-        labels=labels,
-    ).inc()
-    registry.counter(
-        "erlang_inversion_iterations_total",
-        help="recurrence steps / bisection evaluations spent inverting",
-        labels=labels,
-    ).inc(iterations)
-    registry.timer(
-        "erlang_inversion_seconds",
-        help="wall time per Erlang-B inversion",
-        labels=labels,
-    ).observe(elapsed)
+    return _vec.min_servers(float(rho), float(blocking_target))
 
 
 def min_servers_continuous(rho: float, blocking_target: float) -> int:
@@ -252,39 +155,7 @@ def min_servers_continuous(rho: float, blocking_target: float) -> int:
     Records ``erlang_inversion_*`` metrics with ``method="bisection"``
     when observability is enabled.
     """
-    _validate_target(blocking_target)
-    _validate_load(rho)
-    if rho == 0.0:
-        return 0
-    registry = get_registry()
-    t0 = perf_counter() if registry.enabled else 0.0
-    evaluations = 0
-    # Bracket: blocking at n=0 is 1; grow hi geometrically until below target.
-    hi = max(1, int(rho))
-    while erlang_b_continuous(hi, rho) > blocking_target:
-        evaluations += 1
-        hi *= 2
-        if hi > _MAX_SERVERS:  # pragma: no cover - defensive
-            raise RuntimeError("min_servers_continuous failed to bracket")
-    lo = 0
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        evaluations += 1
-        if erlang_b_continuous(mid, rho) > blocking_target:
-            lo = mid
-        else:
-            hi = mid
-    # The continuous extension agrees with the discrete formula at integers,
-    # but guard against floating-point skew at the boundary.
-    while hi > 0 and erlang_b(hi - 1, rho) <= blocking_target:
-        evaluations += 1
-        hi -= 1
-    while erlang_b(hi, rho) > blocking_target:
-        evaluations += 1
-        hi += 1
-    if registry.enabled:
-        _record_inversion(registry, "bisection", evaluations, perf_counter() - t0)
-    return hi
+    return _vec.min_servers_continuous(float(rho), float(blocking_target))
 
 
 def max_load_for_blocking(n: int, blocking_target: float, tol: float = 1e-10) -> float:

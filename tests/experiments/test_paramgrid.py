@@ -1,0 +1,132 @@
+"""Columnar ParamGrid + block sweep engine: shapes, rows, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ParamGrid
+from repro.parallel import ParallelSweep, seed_for, sweep_grid
+from repro.parallel.sweep import _run_grid_chunk
+
+
+class TestParamGridConstruction:
+    def test_numeric_columns_become_arrays(self):
+        grid = ParamGrid({"rho": [1.0, 2.0, 3.0], "n": [1, 2, 3]})
+        assert len(grid) == 3
+        assert grid.names == ("rho", "n")
+        assert grid.column("rho").dtype == np.float64
+        assert grid.column("n").dtype.kind in "iu"
+
+    def test_heterogeneous_columns_fall_back_to_object(self):
+        grid = ParamGrid({"count": [None, 2, 3]})
+        assert grid.column("count").dtype == object
+        assert grid.row(0)["count"] is None
+        assert grid.row(1)["count"] == 2
+
+    def test_nested_sequences_stay_one_object_per_row(self):
+        grid = ParamGrid({"sizes": [(1, 2), (3, 4, 5)], "tag": ["a", "b"]})
+        assert len(grid) == 2
+        assert grid.row(1)["sizes"] == (3, 4, 5)
+
+    def test_rows_unwrap_numpy_scalars(self):
+        row = ParamGrid({"rho": np.array([2.5]), "n": np.array([7])}).row(0)
+        assert type(row["rho"]) is float
+        assert type(row["n"]) is int
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ParamGrid({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            ParamGrid({})
+
+    def test_from_rows_round_trips(self):
+        rows = [{"rho": 1.0, "b": 0.01}, {"rho": 2.0, "b": 0.001}]
+        grid = ParamGrid.from_rows(rows)
+        assert list(grid.rows()) == rows
+
+    def test_from_product_is_c_ordered(self):
+        grid = ParamGrid.from_product(rho=[1.0, 2.0], b=[0.1, 0.2, 0.3])
+        assert len(grid) == 6
+        assert grid.column("rho").tolist() == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        assert grid.column("b").tolist() == [0.1, 0.2, 0.3] * 2
+
+
+class TestBlocks:
+    def test_blocks_partition_without_overlap(self):
+        grid = ParamGrid({"x": list(range(10))})
+        blocks = list(grid.blocks(4))
+        assert [start for start, _ in blocks] == [0, 4, 8]
+        assert [len(b) for _, b in blocks] == [4, 4, 2]
+        stitched = [row["x"] for _, b in blocks for row in b.rows()]
+        assert stitched == list(range(10))
+
+    def test_slice_views_do_not_copy_values(self):
+        grid = ParamGrid({"x": [10, 20, 30, 40]})
+        block = grid.slice(1, 3)
+        assert [r["x"] for r in block.rows()] == [20, 30]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            list(ParamGrid({"x": [1]}).blocks(0))
+
+
+def _square_block(block):
+    """Module-level (picklable) block task: x -> x*x."""
+    return [row["x"] * row["x"] for row in block.rows()]
+
+
+def _seeded_block(block, *, seeds):
+    """Module-level block task echoing its per-row seeds."""
+    return [(row["x"], seed) for row, seed in zip(block.rows(), seeds)]
+
+
+def _short_block(block):
+    return [0]  # wrong length on purpose
+
+
+class TestSweepGrid:
+    def test_results_in_grid_order(self):
+        grid = ParamGrid({"x": list(range(23))})
+        assert sweep_grid(_square_block, grid) == [x * x for x in range(23)]
+
+    def test_jobs_and_chunking_are_invisible(self):
+        grid = ParamGrid({"x": list(range(40))})
+        serial = sweep_grid(_square_block, grid, jobs=1)
+        for jobs in (2, 4):
+            for chunk_size in (1, 3, 40):
+                assert (
+                    sweep_grid(
+                        _square_block, grid, jobs=jobs, chunk_size=chunk_size
+                    )
+                    == serial
+                )
+
+    def test_seeds_are_grid_index_derived(self):
+        grid = ParamGrid({"x": list(range(9))})
+        rows = sweep_grid(_seeded_block, grid, base_seed=2009, chunk_size=4)
+        assert [seed for _, seed in rows] == [
+            seed_for(2009, i) for i in range(9)
+        ]
+        # Identical seeds at any chunking: block boundaries cannot leak in.
+        assert rows == sweep_grid(
+            _seeded_block, grid, base_seed=2009, chunk_size=2
+        )
+
+    def test_wrong_result_length_is_an_error(self):
+        grid = ParamGrid({"x": [1, 2, 3]})
+        with pytest.raises(ValueError, match="3-row block"):
+            _run_grid_chunk(_short_block, None, 0, grid)
+
+    def test_empty_grid_handled_by_stats(self):
+        sweep = ParallelSweep(_square_block)
+        grid = ParamGrid({"x": [5]})
+        assert sweep.run_grid(grid.slice(0, 0)) == []
+        assert sweep.stats.tasks == 0
+
+    def test_stats_count_rows_not_blocks(self):
+        sweep = ParallelSweep(_square_block, chunk_size=4)
+        grid = ParamGrid({"x": list(range(10))})
+        sweep.run_grid(grid)
+        assert sweep.stats.tasks == 10
+        assert sweep.stats.chunks == 3

@@ -102,6 +102,46 @@ class TestKeyTolerance:
         assert cache.erlang_b(10, 8.0) != cache.erlang_b(12, 8.0)
         assert cache.stats()["misses"] == 2
 
+    def test_precision_is_constructor_configurable(self):
+        coarse = ErlangCache(rho_decimals=3, target_decimals=4)
+        assert coarse.key_for("min_servers", 1.23456, 0.012345) == (
+            "min_servers", 1.235, 0.0123,
+        )
+        stats = coarse.stats()
+        assert stats["rho_decimals"] == 3
+        assert stats["target_decimals"] == 4
+        # Defaults still come from the class attributes.
+        default = ErlangCache()
+        assert default.rho_decimals == ErlangCache.RHO_DECIMALS
+        assert default.target_decimals == ErlangCache.TARGET_DECIMALS
+        with pytest.raises(ValueError, match="rho_decimals"):
+            ErlangCache(rho_decimals=-1)
+        with pytest.raises(ValueError, match="target_decimals"):
+            ErlangCache(target_decimals=-2)
+
+    @given(rho=st.floats(min_value=0.001, max_value=500.0,
+                         allow_nan=False, allow_infinity=False),
+           target=st.floats(min_value=0.0001, max_value=0.5,
+                            allow_nan=False, allow_infinity=False))
+    @settings(max_examples=80, deadline=None)
+    def test_cache_on_vs_off_agrees_within_rounding_tolerance(self, rho, target):
+        # Off-grid inputs may share an entry with their rounded neighbour;
+        # the cached answer must equal the uncached answer of SOME input
+        # within the rounding tolerance — concretely, the rounded key
+        # point — and min_servers moves by at most one server across a
+        # 1e-9 load perturbation at these scales.
+        cache = ErlangCache()
+        # Prime with the rounded key point so the off-grid query below
+        # exercises the collision path (a shared entry), not a fresh miss.
+        rho_key = round(rho, cache.rho_decimals)
+        target_key = round(target, cache.target_decimals)
+        cache.min_servers(rho_key, target_key)
+        cached = cache.min_servers(rho, target)
+        uncached = erlang.min_servers(rho, target)
+        at_key = erlang.min_servers(rho_key, target_key)
+        assert cached == uncached or cached == at_key
+        assert abs(cached - uncached) <= 1
+
 
 class TestEviction:
     def test_bound_is_enforced(self):
@@ -179,6 +219,7 @@ class TestSharedCacheAndMetrics:
         assert len(cache) == 0
         assert cache.stats() == {
             "hits": 0, "misses": 0, "evictions": 0, "size": 0, "maxsize": 65536,
+            "rho_decimals": 9, "target_decimals": 12,
         }
 
     def test_nan_load_rejected_through_cache(self):
@@ -186,3 +227,41 @@ class TestSharedCacheAndMetrics:
         cache = ErlangCache()
         with pytest.raises(ValueError, match="finite"):
             cache.min_servers(math.nan, 0.01)
+
+
+class TestMinServersGrid:
+    def test_matches_scalar_path_and_counts_per_point(self):
+        cache = ErlangCache()
+        rhos = [0.5 + 0.25 * i for i in range(40)]
+        expected = [erlang.min_servers(rho, 0.01) for rho in rhos]
+        got = cache.min_servers_grid(rhos, 0.01)
+        assert got.tolist() == expected
+        assert cache.stats()["misses"] == 40
+        # Second pass: all hits, same values.
+        again = cache.min_servers_grid(rhos, 0.01)
+        assert again.tolist() == expected
+        assert cache.stats()["hits"] == 40
+
+    def test_grid_and_scalar_calls_share_entries(self):
+        cache = ErlangCache()
+        scalar = cache.min_servers(12.5, 0.02)
+        got = cache.min_servers_grid([12.5, 30.0], 0.02)
+        assert got[0] == scalar
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+
+    def test_broadcasts_and_preserves_shape(self):
+        import numpy as np
+
+        cache = ErlangCache()
+        rho = np.linspace(1.0, 20.0, 6).reshape(3, 2)
+        out = cache.min_servers_grid(rho, 0.01)
+        assert out.shape == (3, 2)
+        flat = [erlang.min_servers(float(r), 0.01) for r in rho.reshape(-1)]
+        assert out.reshape(-1).tolist() == flat
+
+    def test_eviction_bound_holds_for_batches(self):
+        cache = ErlangCache(maxsize=8)
+        cache.min_servers_grid([1.0 + i for i in range(30)], 0.01)
+        assert len(cache) <= 8
+        assert cache.stats()["evictions"] == 30 - 8

@@ -72,7 +72,18 @@ class TestErlangB:
             erlang_b(1, -1.0)
 
     def test_recurrence_alias(self):
-        assert erlang_b(7, 3.3) == erlang_b_recurrence(7, 3.3)
+        with pytest.warns(DeprecationWarning, match="erlang_b_recurrence"):
+            assert erlang_b(7, 3.3) == erlang_b_recurrence(7, 3.3)
+
+    def test_deprecated_names_still_import(self):
+        # The API redesign keeps every pre-vectorization name importable,
+        # from both the module and the package root.
+        from repro.queueing import erlang_b_recurrence as from_package
+        from repro.queueing.erlang import erlang_b_recurrence as from_module
+
+        assert from_package is from_module
+        with pytest.warns(DeprecationWarning):
+            assert from_package(3, 2.0) == erlang_b(3, 2.0)
 
 
 class TestErlangBVariants:
