@@ -11,11 +11,14 @@ configurations:
   all (the pre-observability baseline);
 - **off** — the real :class:`~repro.simulation.engine.Simulator` under the
   default null registry;
-- **on** — the real engine under an enabled registry.
+- **on** — the real engine under an enabled registry;
+- **telemetry** — the real engine under an enabled telemetry bus (the
+  virtual-time series recorder added with the observability PR).
 
-and asserts the *off* configuration stays within 5% of *bare*.  Timing uses
-min-of-repeats (the standard low-noise estimator); the assertion retries a
-few times to ride out scheduler jitter on shared CI machines.
+and asserts the *off* configuration stays within 5% of *bare* and the
+*telemetry* configuration within 15% of *off*.  Timing uses min-of-repeats
+(the standard low-noise estimator); the assertions retry a few times to
+ride out scheduler jitter on shared CI machines.
 """
 
 from __future__ import annotations
@@ -26,12 +29,13 @@ import timeit
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.obs import scoped_registry
+from repro.obs import TelemetryBus, scoped_bus, scoped_registry
 from repro.simulation.engine import Simulator
 
 CHAIN_LENGTH = 20_000
 REPEATS = 7
 MAX_OVERHEAD = 0.05
+MAX_TELEMETRY_OVERHEAD = 0.15
 ATTEMPTS = 5
 
 
@@ -120,7 +124,9 @@ def measure() -> dict[str, float]:
     off = _best_time(Simulator)
     with scoped_registry():
         on = _best_time(Simulator)
-    return {"bare": bare, "off": off, "on": on}
+    with scoped_bus(TelemetryBus(bucket_width=1.0, max_buckets=256)):
+        telemetry = _best_time(Simulator)
+    return {"bare": bare, "off": off, "on": on, "telemetry": telemetry}
 
 
 def test_disabled_observability_overhead_under_5pct():
@@ -137,6 +143,20 @@ def test_disabled_observability_overhead_under_5pct():
     )
 
 
+def test_telemetry_overhead_under_15pct():
+    worst = None
+    for _ in range(ATTEMPTS):
+        times = measure()
+        overhead = times["telemetry"] / times["off"] - 1.0
+        worst = overhead if worst is None else min(worst, overhead)
+        if worst <= MAX_TELEMETRY_OVERHEAD:
+            break
+    assert worst <= MAX_TELEMETRY_OVERHEAD, (
+        f"telemetry-enabled engine is {100 * worst:.1f}% slower than the "
+        f"disabled configuration (limit {100 * MAX_TELEMETRY_OVERHEAD:.0f}%)"
+    )
+
+
 def test_chains_complete_in_every_configuration():
     assert _chain(BareSimulator) == CHAIN_LENGTH
     assert _chain(Simulator) == CHAIN_LENGTH
@@ -144,11 +164,18 @@ def test_chains_complete_in_every_configuration():
         assert _chain(Simulator) == CHAIN_LENGTH
         executed = registry.counter("sim_events_executed_total")
         assert executed.value == CHAIN_LENGTH
+    with scoped_bus(TelemetryBus(bucket_width=1.0)) as bus:
+        assert _chain(Simulator) == CHAIN_LENGTH
+        recorded = sum(
+            s.total for s in bus.series() if s.name == "engine.events"
+        )
+        assert recorded == CHAIN_LENGTH
 
 
 if __name__ == "__main__":  # pragma: no cover - manual reporting entry point
     times = measure()
     bare, off, on = times["bare"], times["off"], times["on"]
+    telemetry = times["telemetry"]
     print(f"bare engine        : {1e3 * bare:8.2f} ms / {CHAIN_LENGTH} events")
     print(
         f"instrumented (off) : {1e3 * off:8.2f} ms  "
@@ -157,4 +184,8 @@ if __name__ == "__main__":  # pragma: no cover - manual reporting entry point
     print(
         f"instrumented (on)  : {1e3 * on:8.2f} ms  "
         f"({100 * (on / bare - 1):+.1f}% vs bare)"
+    )
+    print(
+        f"telemetry bus (on) : {1e3 * telemetry:8.2f} ms  "
+        f"({100 * (telemetry / off - 1):+.1f}% vs off)"
     )

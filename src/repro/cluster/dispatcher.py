@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..obs import get_registry, get_trace
+from ..obs import get_bus, get_registry, get_trace
 
 __all__ = [
     "Dispatcher",
@@ -61,6 +61,15 @@ class Dispatcher(abc.ABC):
                 help="max per-backend picks over mean picks (1.0 = even)",
                 labels={"policy": policy},
             )
+        # Virtual-time pick series (construct-time-bound like the registry;
+        # the bus clock reads a simulator only after bus.attach_simulator).
+        bus = get_bus()
+        self._bus_instrumented = bus.enabled
+        if self._bus_instrumented:
+            self._bus = bus
+            self._pick_series = bus.counter(
+                "dispatcher.picks", {"policy": type(self).__name__}
+            )
 
     def _record(self, chosen: int) -> int:
         """Account the pick; concrete ``pick`` implementations route
@@ -71,6 +80,8 @@ class Dispatcher(abc.ABC):
             self._pick_counters[chosen].inc()
             total = sum(counts)
             self._imbalance.set(max(counts) * len(counts) / total)
+        if self._bus_instrumented:
+            self._pick_series.add(self._bus.now)
         return chosen
 
     @abc.abstractmethod

@@ -60,6 +60,7 @@ from ..obs import (
     write_manifest,
     write_prometheus,
     write_report,
+    write_timeseries_jsonl,
     write_trace_jsonl,
 )
 from ..obs.ledger import ledger_with_live_results
@@ -70,6 +71,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     applications,
     ext_multiservice,
     ext_scale,
+    ext_telemetry,
     ext_wan,
     fig02_motivation,
     fig05_web_io,
@@ -153,6 +155,8 @@ def _manifest_dir(args) -> Path | None:
         return Path(args.trace_out).parent
     if args.profile_out:
         return Path(args.profile_out).parent
+    if args.timeseries_out:
+        return Path(args.timeseries_out).parent
     if args.report_out:
         return Path(args.report_out).parent
     if args.fleet_out:
@@ -215,6 +219,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="FILE",
         help="profile every experiment span (cProfile + tracemalloc) and "
         "write the accumulated top-N hotspot report to FILE",
+    )
+    parser.add_argument(
+        "--timeseries-out",
+        metavar="FILE",
+        help="write the virtual-time telemetry recorded by instrumented "
+        "experiments (schema repro.timeseries/v1, one JSON document per "
+        "line: series then alarm events) to FILE; bit-identical across "
+        "--jobs values at the same seed",
+    )
+    parser.add_argument(
+        "--alarms",
+        action="store_true",
+        help="print each threshold-alarm transition recorded by the run "
+        "(rule, state, virtual time, value) after the experiment output",
     )
     parser.add_argument(
         "--progress",
@@ -314,6 +332,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"[{result.experiment}] {result.title}")
         print("=" * 72)
         print(result.text)
+        if args.alarms:
+            for doc in result.artifacts.get("timeseries", ()):
+                if doc.get("kind") != "alarm":
+                    continue
+                print(
+                    f"  alarm {doc['rule']} {doc['state']} t={doc['t']:g} "
+                    f"value={doc['value']:g} threshold={doc['threshold']:g}"
+                )
         if args.output:
             csv_path, json_path = result.export(args.output)
             print(f"\n  exported: {csv_path}  {json_path}")
@@ -373,6 +399,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         runner()
     wall_time = perf_counter() - t0
 
+    # Telemetry documents ride inside the (picklable) results, never in
+    # worker-process global state — which is what keeps --timeseries-out
+    # bit-identical across --jobs values.  Name order matches stdout.
+    telemetry_docs: list = []
+    for name in sorted(results_by_name):
+        artifacts = getattr(results_by_name[name], "artifacts", None) or {}
+        telemetry_docs.extend(artifacts.get("timeseries", ()))
+
     # Grade the run against the paper-expected values declared next to
     # each experiment, and show the scoreboard with the results.
     scoreboard = evaluate_summaries(
@@ -394,6 +428,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 write_trace_jsonl(trace, args.trace_out)
             if profiler is not None:
                 profiler.write(args.profile_out)
+            if trace is not None and trace.dropped:
+                print(
+                    f"warning: trace ring dropped {trace.dropped} event(s) "
+                    f"(capacity {trace.capacity}); by kind: "
+                    f"{trace.dropped_by_kind}",
+                    file=sys.stderr,
+                )
             if manifest_dir is not None:
                 manifest = build_manifest(
                     {
@@ -418,12 +459,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                             "sweep": sweep_stats,
                         },
                         "audit": audit_assumptions.as_dict(),
+                        "timeseries": {
+                            "out": args.timeseries_out,
+                            "documents": len(telemetry_docs),
+                            "alarm_events": sum(
+                                1
+                                for d in telemetry_docs
+                                if d.get("kind") == "alarm"
+                            ),
+                            "alarms_printed": bool(args.alarms),
+                        },
                     },
                 )
                 manifest_path = write_manifest(
                     manifest, Path(manifest_dir) / "run_manifest.json"
                 )
                 print(f"run manifest: {manifest_path}", file=sys.stderr)
+        if args.timeseries_out:
+            ts_path = write_timeseries_jsonl(telemetry_docs, args.timeseries_out)
+            print(
+                f"timeseries: {ts_path} ({len(telemetry_docs)} documents)",
+                file=sys.stderr,
+            )
         if manifest_dir is not None and scoreboard.verdicts:
             fidelity_path = write_fidelity_artifact(fidelity_doc, manifest_dir)
             print(
@@ -459,6 +516,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     bench_docs=bench_docs,
                     bench_comparison=bench_comparison,
                     fidelity_doc=fidelity_doc,
+                    timeseries_docs=telemetry_docs or None,
                     results=[
                         {
                             "experiment": r.experiment,

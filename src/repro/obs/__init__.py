@@ -108,6 +108,20 @@ from .registry import (
     scoped_registry,
     set_registry,
 )
+from .timeseries import (
+    TIMESERIES_SCHEMA,
+    CounterSeries,
+    GaugeSeries,
+    NullTelemetryBus,
+    TelemetryBus,
+    get_bus,
+    load_timeseries_jsonl,
+    scoped_bus,
+    set_bus,
+    validate_timeseries_doc,
+    write_timeseries_jsonl,
+)
+from .alarms import AlarmEvent, AlarmManager, AlarmRule
 from .trace import (
     NullTraceLog,
     TraceEvent,
@@ -209,4 +223,20 @@ __all__ = [
     # executive dashboard
     "render_fleet_dashboard",
     "build_and_render",
+    # virtual-time telemetry bus
+    "TIMESERIES_SCHEMA",
+    "CounterSeries",
+    "GaugeSeries",
+    "TelemetryBus",
+    "NullTelemetryBus",
+    "get_bus",
+    "set_bus",
+    "scoped_bus",
+    "validate_timeseries_doc",
+    "write_timeseries_jsonl",
+    "load_timeseries_jsonl",
+    # threshold alarms
+    "AlarmRule",
+    "AlarmEvent",
+    "AlarmManager",
 ]

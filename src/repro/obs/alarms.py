@@ -1,0 +1,230 @@
+"""Sliding-window threshold alarms over telemetry series.
+
+Modeled on the threshold/alarm managers of OpenStack Neat: a host is
+declared *overloaded* or *underloaded* when the windowed mean of a
+utilization signal crosses a threshold, with two guards against flapping —
+
+- **hysteresis**: the alarm clears at a separate ``clear`` threshold on
+  the safe side of the firing threshold, so a signal oscillating around
+  one level does not fire/clear every bucket;
+- **debounce**: the breach must persist for ``debounce`` consecutive
+  windows before the alarm fires.
+
+Rules evaluate *post hoc* over the bucket series recorded by a
+:class:`~repro.obs.timeseries.TelemetryBus` — a deterministic walk over
+already-deterministic data, so alarm event streams inherit the repo's
+bit-identity-across-``--jobs`` contract for free.  Events are emitted as
+structured trace records and metrics-registry counters, and serialise as
+``kind="alarm"`` documents into the ``repro.timeseries/v1`` JSONL stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.registry import get_registry
+from repro.obs.timeseries import TIMESERIES_SCHEMA, TelemetryBus
+from repro.obs.trace import get_trace
+
+__all__ = ["AlarmRule", "AlarmEvent", "AlarmManager"]
+
+_KINDS = ("overload", "underload")
+
+
+@dataclass(frozen=True)
+class AlarmRule:
+    """One threshold rule against one telemetry series family.
+
+    ``kind="overload"`` breaches when the windowed mean rises to
+    ``threshold`` or above and clears once it falls below ``clear``;
+    ``kind="underload"`` mirrors this downward.  ``clear`` defaults to
+    ``threshold`` (no hysteresis band).  ``labels`` is a subset match:
+    the rule applies to every series named ``series`` whose label set
+    contains all the given pairs.
+    """
+
+    name: str
+    series: str
+    kind: str
+    threshold: float
+    clear: float | None = None
+    window: int = 1
+    debounce: int = 1
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alarm rule name must be non-empty")
+        if self.kind not in _KINDS:
+            raise ValueError(f"alarm kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1 buckets, got {self.window}")
+        if self.debounce < 1:
+            raise ValueError(f"debounce must be >= 1 windows, got {self.debounce}")
+        clear = self.threshold if self.clear is None else self.clear
+        if self.kind == "overload" and clear > self.threshold:
+            raise ValueError(
+                f"overload clear threshold {clear} must not exceed "
+                f"firing threshold {self.threshold}"
+            )
+        if self.kind == "underload" and clear < self.threshold:
+            raise ValueError(
+                f"underload clear threshold {clear} must not undercut "
+                f"firing threshold {self.threshold}"
+            )
+
+    @property
+    def clear_threshold(self) -> float:
+        return self.threshold if self.clear is None else self.clear
+
+    def matches(self, name: str, labels: Mapping[str, str]) -> bool:
+        if name != self.series:
+            return False
+        return all(labels.get(k) == v for k, v in self.labels.items())
+
+    def _breaches(self, value: float) -> bool:
+        if self.kind == "overload":
+            return value >= self.threshold
+        return value <= self.threshold
+
+    def _clears(self, value: float) -> bool:
+        if self.kind == "overload":
+            return value < self.clear_threshold
+        return value > self.clear_threshold
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One fire/clear transition at a virtual-time bucket boundary."""
+
+    rule: str
+    kind: str
+    state: str  # "fire" | "clear"
+    t: float
+    value: float
+    threshold: float
+    series: str
+    labels: Mapping[str, str]
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "kind": "alarm",
+            "rule": self.rule,
+            "alarm_kind": self.kind,
+            "state": self.state,
+            "t": round(self.t, 9),
+            "value": round(self.value, 9),
+            "threshold": self.threshold,
+            "series": self.series,
+            "labels": dict(self.labels),
+        }
+
+
+class AlarmManager:
+    """Evaluate a rule set against a bus and emit structured events."""
+
+    def __init__(self, rules: Iterable[AlarmRule]) -> None:
+        self.rules = tuple(rules)
+        names = [r.name for r in self.rules]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate alarm rule names: {sorted(dupes)}")
+
+    def evaluate(self, bus: TelemetryBus) -> list[AlarmEvent]:
+        """Walk every rule over every matching series; returns events
+        sorted by ``(t, rule, series-labels)`` — a deterministic order."""
+        events: list[AlarmEvent] = []
+        for rule in self.rules:
+            for series in bus.series():
+                labels = dict(series.labels)
+                if not rule.matches(series.name, labels):
+                    continue
+                events.extend(self._walk(rule, series, labels))
+        events.sort(key=lambda e: (e.t, e.rule, e.series, sorted(e.labels.items())))
+        return events
+
+    @staticmethod
+    def _window_means(values: list[float], window: int) -> list[float]:
+        """Trailing-window means; windows shorter than ``window`` at the
+        start average what exists so early breaches are not masked."""
+        means = []
+        running = 0.0
+        for i, v in enumerate(values):
+            running += v
+            if i >= window:
+                running -= values[i - window]
+            means.append(running / min(i + 1, window))
+        return means
+
+    def _walk(self, rule: AlarmRule, series, labels) -> list[AlarmEvent]:
+        values = series.values()
+        if not values:
+            return []
+        means = self._window_means(values, rule.window)
+        width = series.bucket_width
+        events: list[AlarmEvent] = []
+        firing = False
+        streak = 0
+        for i, mean in enumerate(means):
+            t = (i + 1) * width  # decision lands at the bucket's end
+            if not firing:
+                streak = streak + 1 if rule._breaches(mean) else 0
+                if streak >= rule.debounce:
+                    firing = True
+                    streak = 0
+                    events.append(AlarmEvent(
+                        rule=rule.name, kind=rule.kind, state="fire", t=t,
+                        value=mean, threshold=rule.threshold,
+                        series=series.name, labels=labels,
+                    ))
+            elif rule._clears(mean):
+                firing = False
+                events.append(AlarmEvent(
+                    rule=rule.name, kind=rule.kind, state="clear", t=t,
+                    value=mean, threshold=rule.clear_threshold,
+                    series=series.name, labels=labels,
+                ))
+        return events
+
+    def emit(self, events: Iterable[AlarmEvent]) -> list[AlarmEvent]:
+        """Publish events to the active trace log and metrics registry.
+
+        Uses the *current* process-global instruments (not construct-time
+        bound: alarm evaluation is a post-run analysis step, not a DES
+        hot path).  Returns the events for chaining.
+        """
+        events = list(events)
+        trace = get_trace()
+        registry = get_registry()
+        for event in events:
+            trace.emit(
+                event.rule,
+                kind="alarm",
+                alarm_kind=event.kind,
+                state=event.state,
+                t=event.t,
+                value=round(event.value, 6),
+                threshold=event.threshold,
+                series=event.series,
+                **{f"label_{k}": v for k, v in sorted(event.labels.items())},
+            )
+            registry.counter(
+                "alarms_total",
+                help="threshold alarm transitions",
+                labels={"rule": event.rule, "state": event.state},
+            ).inc()
+        return events
+
+    def summarize(self, events: Iterable[AlarmEvent]) -> dict[str, int]:
+        """Count fires per alarm kind (+ total clears) — golden-pinnable."""
+        counts = {"overload_fires": 0, "underload_fires": 0, "clears": 0}
+        for event in events:
+            if event.state == "clear":
+                counts["clears"] += 1
+            elif event.kind == "overload":
+                counts["overload_fires"] += 1
+            else:
+                counts["underload_fires"] += 1
+        return counts

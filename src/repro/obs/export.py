@@ -157,6 +157,7 @@ def build_manifest(
             "events": len(trace),
             "emitted": trace.emitted,
             "dropped": trace.dropped,
+            "dropped_by_kind": trace.dropped_by_kind,
             "capacity": trace.capacity,
         }
     if extra:

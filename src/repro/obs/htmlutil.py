@@ -22,6 +22,7 @@ __all__ = [
     "table",
     "kv_table",
     "sparkline",
+    "timeline_chart",
     "page",
 ]
 
@@ -127,6 +128,84 @@ def sparkline(
         f'stroke-width="1.5"/>'
         f'<circle cx="{pad + (len(pts) - 1) * step:.1f}" cy="{last_y:.1f}" '
         f'r="2.2" fill="#2a6fb0"/></svg>'
+    )
+
+
+def timeline_chart(
+    t0: float,
+    bucket_width: float,
+    values: Sequence[float],
+    *,
+    markers: Sequence[Mapping[str, Any]] = (),
+    width: int = 640,
+    height: int = 110,
+    stroke: str = "#2a6fb0",
+    unit: str = "",
+) -> str:
+    """Inline-SVG time series over virtual time with alarm markers.
+
+    ``values`` are per-bucket aggregates starting at ``t0`` with uniform
+    ``bucket_width``; ``markers`` are alarm documents (``t``, ``state``,
+    ``rule``) drawn as vertical lines — red for ``fire``, green for
+    ``clear`` — with the rule name in a ``<title>`` tooltip.  No scripts,
+    no external assets (the reports' self-containment contract).
+    """
+    pts = [float(v) for v in values if v == v]
+    if len(pts) < 2:
+        return '<span class="muted">not enough telemetry buckets</span>'
+    lo = min(min(pts), 0.0)
+    hi = max(pts)
+    span = (hi - lo) or 1.0
+    pad_l, pad_r, pad_t, pad_b = 46.0, 8.0, 8.0, 20.0
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    t_end = t0 + bucket_width * len(pts)
+    t_span = (t_end - t0) or 1.0
+
+    def x_of(t: float) -> float:
+        return pad_l + (t - t0) / t_span * plot_w
+
+    def y_of(v: float) -> float:
+        return pad_t + (1.0 - (v - lo) / span) * plot_h
+
+    coords = " ".join(
+        f"{x_of(t0 + (i + 0.5) * bucket_width):.1f},{y_of(v):.1f}"
+        for i, v in enumerate(pts)
+    )
+    marks = []
+    for doc in markers:
+        t = float(doc.get("t", 0.0))
+        if not t0 <= t <= t_end:
+            continue
+        firing = doc.get("state") == "fire"
+        colour = "#c0392b" if firing else "#1a7f37"
+        label = esc(f"{doc.get('rule', 'alarm')} {doc.get('state', '')} @ t={t:g}")
+        marks.append(
+            f'<line x1="{x_of(t):.1f}" y1="{pad_t:.1f}" x2="{x_of(t):.1f}" '
+            f'y2="{pad_t + plot_h:.1f}" stroke="{colour}" stroke-width="1.2" '
+            f'stroke-dasharray="{"" if firing else "3 2"}">'
+            f"<title>{label}</title></line>"
+        )
+    axis_label = esc(f"{fmt_value(hi)}{unit}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<line x1="{pad_l:.1f}" y1="{pad_t + plot_h:.1f}" '
+        f'x2="{pad_l + plot_w:.1f}" y2="{pad_t + plot_h:.1f}" '
+        f'stroke="#999" stroke-width="1"/>'
+        f'<line x1="{pad_l:.1f}" y1="{pad_t:.1f}" x2="{pad_l:.1f}" '
+        f'y2="{pad_t + plot_h:.1f}" stroke="#999" stroke-width="1"/>'
+        f'<text x="{pad_l - 4:.1f}" y="{pad_t + 4:.1f}" text-anchor="end" '
+        f'font-size="9" fill="#666">{axis_label}</text>'
+        f'<text x="{pad_l - 4:.1f}" y="{pad_t + plot_h:.1f}" text-anchor="end" '
+        f'font-size="9" fill="#666">{esc(fmt_value(lo))}</text>'
+        f'<text x="{pad_l:.1f}" y="{height - 6:.1f}" font-size="9" '
+        f'fill="#666">t={esc(fmt_value(t0))}</text>'
+        f'<text x="{pad_l + plot_w:.1f}" y="{height - 6:.1f}" text-anchor="end" '
+        f'font-size="9" fill="#666">t={esc(fmt_value(t_end))}</text>'
+        + "".join(marks)
+        + f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+        f'stroke-width="1.5"/></svg>'
     )
 
 

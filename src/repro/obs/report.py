@@ -40,6 +40,8 @@ from .htmlutil import kv_table as _kv_table
 from .htmlutil import page as _page
 from .htmlutil import sparkline as _sparkline
 from .htmlutil import table as _table
+from .htmlutil import timeline_chart as _timeline_chart
+from .timeseries import TIMESERIES_SCHEMA, load_timeseries_jsonl
 
 __all__ = ["render_report", "collect_bench_docs", "write_report", "main"]
 
@@ -318,6 +320,92 @@ def _section_bench(
     return "".join(out)
 
 
+#: Charts rendered before the timeline section truncates (keeps reports
+#: bounded when many pools record telemetry).
+_MAX_TIMELINE_CHARTS = 24
+
+
+def _alarm_matches_series(alarm: Mapping[str, Any], series: Mapping[str, Any]) -> bool:
+    if alarm.get("series") != series.get("series"):
+        return False
+    series_labels = series.get("labels") or {}
+    return all(
+        series_labels.get(k) == v for k, v in (alarm.get("labels") or {}).items()
+    )
+
+
+def _section_timeline(
+    timeseries_docs: Sequence[Mapping[str, Any]] | None,
+) -> str:
+    """Virtual-time timeline charts with alarm markers.
+
+    Unlike the other sections this one renders *nothing at all* when no
+    telemetry exists — the timeline is an opt-in artifact, so its absence
+    is the normal case, not a gap worth a placeholder.
+    """
+    if not timeseries_docs:
+        return ""
+    series_docs = [d for d in timeseries_docs if d.get("kind") == "series"]
+    alarm_docs = [d for d in timeseries_docs if d.get("kind") == "alarm"]
+    if not series_docs:
+        return ""
+    out = ["<h2>Telemetry timeline</h2>"]
+    out.append(
+        f'<p class="muted">{len(series_docs)} series, {len(alarm_docs)} '
+        f"alarm transition(s) over virtual time (schema "
+        f"{_esc(TIMESERIES_SCHEMA)}); red lines mark alarm fires, dashed "
+        f"green their clears.</p>"
+    )
+    shown = 0
+    for doc in series_docs:
+        if shown >= _MAX_TIMELINE_CHARTS:
+            out.append(
+                f'<p class="muted">… {len(series_docs) - shown} more series '
+                f"not charted (cap {_MAX_TIMELINE_CHARTS}).</p>"
+            )
+            break
+        labels = doc.get("labels") or {}
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        markers = [a for a in alarm_docs if _alarm_matches_series(a, doc)]
+        out.append(
+            f"<h3><span class=\"mono\">{_esc(doc['series'])}</span> "
+            f'<span class="muted">{_esc(label_text)} ({_esc(doc["agg"])}, '
+            f'bucket {_esc(_fmt(doc["bucket_width"]))})</span></h3>'
+        )
+        out.append(
+            _timeline_chart(
+                float(doc.get("t0", 0.0)),
+                float(doc["bucket_width"]),
+                doc["values"],
+                markers=markers,
+            )
+        )
+        shown += 1
+    if alarm_docs:
+        out.append("<h3>Alarm transitions</h3>")
+        rows = [
+            (
+                f'<span class="mono">{_esc(a["rule"])}</span>',
+                f'<span class="badge badge-'
+                f'{"fail" if a["state"] == "fire" else "match"}">'
+                f'{_esc(a["state"])}</span>',
+                f'<span class="mono">{_esc(_fmt(a["t"]))}</span>',
+                f'<span class="mono">{_esc(_fmt(a["value"]))}</span>',
+                f'<span class="mono">{_esc(_fmt(a["threshold"]))}</span>',
+                f'<span class="mono">{_esc(a["series"])}</span>',
+            )
+            for a in alarm_docs
+        ]
+        out.append(
+            _table(
+                ("rule", "state", "virtual time", "window value",
+                 "threshold", "series"),
+                rows,
+            )
+        )
+    return "".join(out)
+
+
 def _section_results(results: Sequence[Mapping[str, Any]]) -> str:
     out = ["<h2>Experiment results</h2>"]
     if not results:
@@ -348,6 +436,7 @@ def render_report(
     bench_docs: Sequence[Mapping[str, Any]] = (),
     bench_comparison: Mapping[str, Any] | None = None,
     fidelity_doc: Mapping[str, Any] | None = None,
+    timeseries_docs: Sequence[Mapping[str, Any]] | None = None,
     results: Sequence[Mapping[str, Any]] = (),
     generated_utc: str | None = None,
 ) -> str:
@@ -356,7 +445,9 @@ def render_report(
     Every argument is optional; absent sections render a placeholder so the
     report's structure is stable regardless of which artifacts exist.
     ``metrics`` defaults to the manifest's snapshot, ``trace_stats`` to the
-    manifest's trace block.
+    manifest's trace block.  Exception: the telemetry timeline renders only
+    when ``timeseries_docs`` are given (no placeholder — recording
+    telemetry is opt-in, so absence is the normal case).
     """
     if metrics is None and manifest:
         metrics = manifest.get("metrics")
@@ -379,6 +470,7 @@ def render_report(
             _section_manifest(manifest),
             _section_metrics(metrics),
             _section_trace(trace_events, trace_stats),
+            _section_timeline(timeseries_docs),
             _section_bench(bench_docs, bench_comparison),
             _section_results(results),
         )
@@ -465,6 +557,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--trace", metavar="FILE", help="JSONL event trace to summarise"
     )
     parser.add_argument(
+        "--timeseries",
+        metavar="FILE",
+        help="repro.timeseries/v1 JSONL artifact to render as timeline "
+        "charts (default: <results>/timeseries.jsonl, else any *.jsonl "
+        "under <results> carrying the schema; the section is simply "
+        "omitted when none exists)",
+    )
+    parser.add_argument(
         "--fidelity",
         metavar="FILE",
         help="FIDELITY_*.json to show (default: evaluate declared "
@@ -539,6 +639,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         trace_events = _load_trace_events(trace_path)
 
+    timeseries_docs = None
+    if args.timeseries:
+        try:
+            series_docs, alarm_docs = load_timeseries_jsonl(args.timeseries)
+        except (OSError, ValueError) as exc:
+            print(f"error: unreadable timeseries artifact: {exc}", file=sys.stderr)
+            return 2
+        timeseries_docs = series_docs + alarm_docs
+    else:
+        # Auto-discovery: prefer the conventional name, then accept any
+        # JSONL in the results directory carrying the v1 schema.  Absence
+        # is fine — the report simply has no timeline section.
+        candidates = [results_dir / "timeseries.jsonl"] + sorted(
+            p for p in results_dir.glob("*.jsonl")
+            if p.name != "timeseries.jsonl"
+        )
+        for candidate in candidates:
+            if not candidate.is_file():
+                continue
+            try:
+                series_docs, alarm_docs = load_timeseries_jsonl(candidate)
+            except (OSError, ValueError):
+                continue  # foreign JSONL (e.g. a trace export): skip
+            if series_docs or alarm_docs:
+                timeseries_docs = series_docs + alarm_docs
+                break
+
     if args.fidelity:
         try:
             fidelity_doc = load_fidelity_artifact(args.fidelity)
@@ -586,6 +713,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         bench_docs=bench_docs,
         bench_comparison=bench_comparison,
         fidelity_doc=fidelity_doc,
+        timeseries_docs=timeseries_docs,
         results=results,
     )
     try:

@@ -1,0 +1,498 @@
+"""Virtual-time telemetry bus: bounded per-pool time-series recording.
+
+Every other observability surface in this repo (metrics registry, trace
+ring, BENCH/FIDELITY artifacts) reports *end-of-run* aggregates.  The
+telemetry bus records how quantities evolve over **virtual time** inside a
+DES run — occupancy, arrivals, admits, losses, busy servers, instantaneous
+power — as fixed-interval, bounded-memory bucket series.  It is the
+substrate for underload/overload detection (:mod:`repro.obs.alarms`) and
+for the timeline charts in the HTML run report.
+
+Design contract (the same construct-time binding as the metrics registry):
+
+- the process-global default is a no-op :class:`NullTelemetryBus`;
+  instrumented objects (the DES engine, :class:`~repro.simulation
+  .loss_network.LossNetwork`, the dispatchers) check ``get_bus().enabled``
+  **once at construction** and bind their series then, so the disabled hot
+  path pays nothing (guarded by ``benchmarks/bench_obs_overhead.py``);
+- recording is driven purely off the simulator's virtual clock and event
+  order — never the wall clock — so telemetry is **bit-identical** across
+  ``--jobs`` values at a fixed seed (the repo-wide determinism contract);
+- every series is bounded: when a sample lands past ``max_buckets`` the
+  series decimates 2× (adjacent buckets merge, the bucket width doubles)
+  until it fits, so memory stays O(``max_buckets``) for any horizon.
+
+Two aggregation kinds cover the quantities above:
+
+- **counter** series (:meth:`CounterSeries.add`) accumulate event counts
+  per bucket — arrivals, admits, losses, dispatcher picks, engine events;
+- **gauge** series (:meth:`GaugeSeries.set`) integrate a piecewise-
+  constant level over virtual time and export the per-bucket time-weighted
+  mean — occupancy, busy servers, instantaneous power.
+
+Serialisation is JSONL under schema ``repro.timeseries/v1``: one document
+per line, ``kind`` either ``"series"`` or ``"alarm"`` (alarm documents are
+produced by :mod:`repro.obs.alarms` and share the stream so one artifact
+carries the full timeline).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "TIMESERIES_SCHEMA",
+    "CounterSeries",
+    "GaugeSeries",
+    "TelemetryBus",
+    "NullTelemetryBus",
+    "get_bus",
+    "set_bus",
+    "scoped_bus",
+    "validate_timeseries_doc",
+    "load_timeseries_jsonl",
+    "write_timeseries_jsonl",
+]
+
+TIMESERIES_SCHEMA = "repro.timeseries/v1"
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _SeriesBase:
+    """Shared bucket bookkeeping: fixed width, bounded length, 2× decimation."""
+
+    agg = "abstract"
+
+    __slots__ = ("name", "labels", "bucket_width", "max_buckets", "_values",
+                 "_decimations", "_inv_width")
+
+    def __init__(self, name: str, labels: LabelSet, bucket_width: float,
+                 max_buckets: int) -> None:
+        if not name:
+            raise ValueError("series name must be non-empty")
+        if bucket_width <= 0.0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        if max_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {max_buckets}")
+        self.name = name
+        self.labels = labels
+        self.bucket_width = float(bucket_width)
+        self.max_buckets = int(max_buckets)
+        self._inv_width = 1.0 / self.bucket_width
+        self._values: list[float] = []
+        self._decimations = 0
+
+    # -- bucket plumbing -------------------------------------------------------
+
+    def _decimate(self) -> None:
+        """Merge adjacent bucket pairs; the bucket width doubles."""
+        merged = [
+            self._values[i] + (self._values[i + 1] if i + 1 < len(self._values) else 0.0)
+            for i in range(0, len(self._values), 2)
+        ]
+        self._values = merged
+        self.bucket_width *= 2.0
+        self._inv_width = 1.0 / self.bucket_width
+        self._decimations += 1
+
+    def _bucket(self, t: float) -> int:
+        """Bucket index for virtual time ``t``, decimating to stay bounded."""
+        if t < 0.0:
+            raise ValueError(f"virtual time must be non-negative, got {t}")
+        idx = int(t / self.bucket_width)
+        while idx >= self.max_buckets:
+            self._decimate()
+            idx = int(t / self.bucket_width)
+        if idx >= len(self._values):
+            self._values.extend([0.0] * (idx + 1 - len(self._values)))
+        return idx
+
+    @property
+    def buckets(self) -> int:
+        return len(self._values)
+
+    @property
+    def decimations(self) -> int:
+        """How many 2× merges this series has absorbed."""
+        return self._decimations
+
+    # -- export ----------------------------------------------------------------
+
+    def values(self) -> list[float]:
+        """Per-bucket aggregate values (counter: sums; gauge: means)."""
+        raise NotImplementedError
+
+    def to_doc(self) -> dict[str, Any]:
+        """One JSON-able ``kind="series"`` document."""
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "kind": "series",
+            "series": self.name,
+            "labels": dict(self.labels),
+            "agg": self.agg,
+            "t0": 0.0,
+            "bucket_width": self.bucket_width,
+            "buckets": len(self._values),
+            "decimations": self._decimations,
+            "values": [round(v, 9) for v in self.values()],
+        }
+
+
+class CounterSeries(_SeriesBase):
+    """Per-bucket event counts (arrivals, losses, picks, engine events)."""
+
+    agg = "counter"
+    __slots__ = ()
+
+    def add(self, t: float, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the bucket covering virtual time ``t``."""
+        # This runs once per DES event on the engine's hot path; the common
+        # case (bucket already exists) must stay cheap, so it skips the
+        # decimate/extend machinery in _bucket.  Guarded by
+        # benchmarks/bench_obs_overhead.py (telemetry within 15% of off).
+        values = self._values
+        idx = int(t * self._inv_width)
+        if 0.0 <= t and idx < len(values):
+            values[idx] += amount
+        else:
+            # _bucket may decimate, which rebinds _values — resolve the
+            # list only after the index is final or the sample is lost.
+            idx = self._bucket(t)
+            self._values[idx] += amount
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    def values(self) -> list[float]:
+        return list(self._values)
+
+
+class GaugeSeries(_SeriesBase):
+    """Time-weighted mean of a piecewise-constant level per bucket.
+
+    Call :meth:`set` whenever the level changes (occupancy up/down, a
+    capacity step); the previously-held level is integrated over the
+    elapsed virtual time.  :meth:`finalize` extends the last level to the
+    end of the run so trailing buckets close correctly.
+    """
+
+    agg = "gauge"
+    __slots__ = ("_level", "_last_t", "_end")
+
+    def __init__(self, name: str, labels: LabelSet, bucket_width: float,
+                 max_buckets: int) -> None:
+        super().__init__(name, labels, bucket_width, max_buckets)
+        self._level = 0.0
+        self._last_t = 0.0
+        self._end = 0.0
+
+    def set(self, t: float, level: float) -> None:
+        """The signal becomes ``level`` at virtual time ``t``."""
+        self._integrate(t)
+        self._level = float(level)
+
+    def finalize(self, t: float) -> None:
+        """Integrate the held level through ``t`` (end of run)."""
+        self._integrate(t)
+
+    def _integrate(self, t: float) -> None:
+        if t < self._last_t:
+            raise ValueError(
+                f"virtual time went backwards: {t} < {self._last_t}"
+            )
+        start, level = self._last_t, self._level
+        self._last_t = t
+        self._end = max(self._end, t)
+        if level == 0.0 or t == start:
+            # Still touch the bucket so the series spans the full horizon.
+            if t > start:
+                self._bucket(max(t - 1e-12, 0.0) if t else 0.0)
+            return
+        # Spread level * dt across the buckets the interval [start, t) covers.
+        remaining = t
+        lo = start
+        while lo < remaining:
+            idx = self._bucket(lo)
+            bucket_end = (idx + 1) * self.bucket_width
+            hi = min(bucket_end, remaining)
+            self._values[idx] += level * (hi - lo)
+            lo = hi
+
+    @property
+    def current(self) -> float:
+        return self._level
+
+    def values(self) -> list[float]:
+        """Per-bucket time-weighted means (partial last bucket uses its
+        covered span, so a short trailing bucket is not diluted)."""
+        out = []
+        for idx, area in enumerate(self._values):
+            covered = min(self._end - idx * self.bucket_width, self.bucket_width)
+            out.append(area / covered if covered > 0.0 else 0.0)
+        return out
+
+
+class TelemetryBus:
+    """Get-or-create store of virtual-time series, keyed ``(name, labels)``.
+
+    The bus carries a *virtual clock*: :meth:`attach_simulator` points
+    :attr:`now` at a simulator's virtual time so instrumented objects that
+    observe no explicit timestamp (the dispatchers) can still bucket their
+    events on simulated time.  The default clock reads 0.0 — never the
+    wall clock, which would break run-to-run bit-identity.
+    """
+
+    enabled = True
+
+    def __init__(self, bucket_width: float = 1.0, max_buckets: int = 512) -> None:
+        if bucket_width <= 0.0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        if max_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {max_buckets}")
+        self.bucket_width = float(bucket_width)
+        self.max_buckets = int(max_buckets)
+        self._series: dict[tuple[str, LabelSet], _SeriesBase] = {}
+        self._clock = lambda: 0.0
+
+    # -- clock -----------------------------------------------------------------
+
+    def attach_simulator(self, simulator) -> None:
+        """Read :attr:`now` from ``simulator.now`` (virtual time)."""
+        self._clock = lambda: simulator.now
+
+    def detach_clock(self) -> None:
+        self._clock = lambda: 0.0
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- series factories ------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Mapping[str, str] | None):
+        key = (name, _labelset(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, key[1], self.bucket_width, self.max_buckets)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise ValueError(
+                f"series {name!r}{dict(key[1])} already registered as "
+                f"{series.agg}, not {cls.agg}"
+            )
+        return series
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> CounterSeries:
+        return self._get(CounterSeries, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> GaugeSeries:
+        return self._get(GaugeSeries, name, labels)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def finalize(self, t: float) -> None:
+        """Close every gauge's integral at virtual time ``t`` (end of run)."""
+        for series in self._series.values():
+            if isinstance(series, GaugeSeries):
+                series.finalize(t)
+
+    # -- inspection / export ---------------------------------------------------
+
+    def series(self) -> list[_SeriesBase]:
+        """All series, sorted by ``(name, labels)`` for deterministic export."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def to_docs(self) -> list[dict[str, Any]]:
+        return [s.to_doc() for s in self.series()]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(doc, sort_keys=True) for doc in self.to_docs()
+        )
+
+
+class _NullSeries:
+    """Accepts the full series API and does nothing."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelSet = ()
+    agg = "null"
+    bucket_width = 0.0
+    buckets = 0
+    decimations = 0
+    total = 0.0
+    current = 0.0
+
+    def add(self, t: float, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, t: float, level: float) -> None:
+        pass
+
+    def finalize(self, t: float) -> None:
+        pass
+
+    def values(self) -> list[float]:
+        return []
+
+
+_NULL_SERIES = _NullSeries()
+
+
+class NullTelemetryBus:
+    """Disabled bus: factories return the shared no-op series."""
+
+    enabled = False
+    bucket_width = 0.0
+    max_buckets = 0
+    now = 0.0
+
+    def attach_simulator(self, simulator) -> None:
+        pass
+
+    def detach_clock(self) -> None:
+        pass
+
+    def counter(self, name: str, labels=None) -> _NullSeries:
+        return _NULL_SERIES
+
+    def gauge(self, name: str, labels=None) -> _NullSeries:
+        return _NULL_SERIES
+
+    def finalize(self, t: float) -> None:
+        pass
+
+    def series(self) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_docs(self) -> list[dict[str, Any]]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+_NULL_BUS = NullTelemetryBus()
+_default: TelemetryBus | NullTelemetryBus = _NULL_BUS
+
+
+def get_bus() -> TelemetryBus | NullTelemetryBus:
+    """The process-global telemetry bus (no-op unless telemetry is on)."""
+    return _default
+
+
+def set_bus(
+    bus: TelemetryBus | NullTelemetryBus | None,
+) -> TelemetryBus | NullTelemetryBus:
+    """Install ``bus`` globally (``None`` -> the null bus); returns previous."""
+    global _default
+    previous = _default
+    _default = bus if bus is not None else _NULL_BUS
+    return previous
+
+
+@contextmanager
+def scoped_bus(bus: TelemetryBus | None = None) -> Iterator[TelemetryBus]:
+    """Install a fresh (or given) bus for the duration of the block."""
+    active = bus if bus is not None else TelemetryBus()
+    previous = set_bus(active)
+    try:
+        yield active
+    finally:
+        set_bus(previous)
+
+
+# -- JSONL schema helpers ----------------------------------------------------
+
+
+def validate_timeseries_doc(doc: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid v1 stream document."""
+    if not isinstance(doc, Mapping):
+        raise ValueError(f"timeseries document must be an object, got {type(doc)}")
+    if doc.get("schema") != TIMESERIES_SCHEMA:
+        raise ValueError(
+            f"expected schema {TIMESERIES_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    kind = doc.get("kind")
+    if kind == "series":
+        for field, types in (
+            ("series", str), ("labels", Mapping), ("agg", str),
+            ("bucket_width", (int, float)), ("buckets", int), ("values", list),
+        ):
+            if not isinstance(doc.get(field), types):
+                raise ValueError(f"series document field {field!r} missing or mistyped")
+        if doc["agg"] not in ("counter", "gauge"):
+            raise ValueError(f"unknown agg {doc['agg']!r}")
+        if len(doc["values"]) != doc["buckets"]:
+            raise ValueError(
+                f"buckets={doc['buckets']} but {len(doc['values'])} values"
+            )
+        if doc["bucket_width"] <= 0:
+            raise ValueError("bucket_width must be positive")
+    elif kind == "alarm":
+        for field, types in (
+            ("rule", str), ("state", str), ("t", (int, float)),
+            ("series", str), ("value", (int, float)), ("threshold", (int, float)),
+        ):
+            if not isinstance(doc.get(field), types):
+                raise ValueError(f"alarm document field {field!r} missing or mistyped")
+        if doc["state"] not in ("fire", "clear"):
+            raise ValueError(f"unknown alarm state {doc['state']!r}")
+    else:
+        raise ValueError(f"unknown document kind {kind!r}")
+
+
+def write_timeseries_jsonl(
+    docs: Iterator[Mapping[str, Any]] | list, path: str | Path
+) -> Path:
+    """Validate and write one document per line; returns the path written."""
+    docs = list(docs)
+    for doc in docs:
+        validate_timeseries_doc(doc)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(json.dumps(doc, sort_keys=True) for doc in docs)
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+def load_timeseries_jsonl(
+    path: str | Path,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Load a v1 stream; returns ``(series_docs, alarm_docs)``.
+
+    Raises ``ValueError`` on any malformed line — a telemetry artifact is
+    written atomically by one run, so partial validity means corruption.
+    """
+    series_docs: list[dict[str, Any]] = []
+    alarm_docs: list[dict[str, Any]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+        validate_timeseries_doc(doc)
+        (series_docs if doc["kind"] == "series" else alarm_docs).append(doc)
+    return series_docs, alarm_docs

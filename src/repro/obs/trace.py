@@ -60,6 +60,7 @@ class TraceLog:
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._emitted = 0
+        self._dropped_by_kind: dict[str, int] = {}
         self._span_seq = 0
         self._clock = time.time
 
@@ -81,6 +82,9 @@ class TraceLog:
 
     def emit(self, name: str, *, kind: str = "event", **fields: Any) -> TraceEvent:
         event = TraceEvent(ts=self._clock(), kind=kind, name=name, fields=fields)
+        if len(self._events) == self.capacity:
+            evicted = self._events[0].kind
+            self._dropped_by_kind[evicted] = self._dropped_by_kind.get(evicted, 0) + 1
         self._events.append(event)
         self._emitted += 1
         return event
@@ -130,6 +134,12 @@ class TraceLog:
     def dropped(self) -> int:
         """Events evicted by the ring buffer."""
         return self._emitted - len(self._events)
+
+    @property
+    def dropped_by_kind(self) -> dict[str, int]:
+        """Evicted-event counts broken down by record kind — makes silent
+        ring-wrap data loss attributable (e.g. all ``span_end`` gone)."""
+        return dict(self._dropped_by_kind)
 
     def to_jsonl(self) -> str:
         return "\n".join(e.to_json() for e in self._events)
@@ -185,6 +195,10 @@ class NullTraceLog:
 
     emitted = 0
     dropped = 0
+
+    @property
+    def dropped_by_kind(self) -> dict[str, int]:
+        return {}
 
     def to_jsonl(self) -> str:
         return ""

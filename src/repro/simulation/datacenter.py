@@ -147,7 +147,12 @@ class DataCenterSimulation:
             if n_i < 1:
                 raise ValueError(f"{service.name}: island needs >= 1 server, got {n_i}")
             total_servers += n_i
-            network = LossNetwork(n_i, [self._native_traffic(service)])
+            network = LossNetwork(
+                n_i,
+                [self._native_traffic(service)],
+                pool=f"dedicated:{service.name}",
+                power_model=self.power_model,
+            )
             result = network.run(horizon, rng)
             losses[service.name] = result.per_service_loss[service.name]
             cis[service.name] = result.per_service_loss_ci[service.name]
@@ -177,7 +182,12 @@ class DataCenterSimulation:
     ) -> ScenarioResult:
         """Run the pooled scenario on ``servers`` shared machines."""
         traffics = [self._virtualized_traffic(s) for s in self.inputs.services]
-        network = LossNetwork(servers, traffics)
+        network = LossNetwork(
+            servers,
+            traffics,
+            pool="consolidated",
+            power_model=self._xen_power_model(),
+        )
         result = network.run(horizon, rng)
         throughput = {
             name: (result.per_service_arrived[name] - result.per_service_blocked[name])
@@ -208,6 +218,17 @@ class DataCenterSimulation:
         dedicated = self.run_dedicated(per_service_servers, horizon, rng)
         consolidated = self.run_consolidated(consolidated_servers, horizon, rng)
         return CaseStudyResult(dedicated=dedicated, consolidated=consolidated)
+
+    def _xen_power_model(self) -> ServerPowerModel:
+        """Per-server model with the measured Xen platform effects applied:
+        idle draw scaled by ``xen_idle_factor``, dynamic range by
+        ``xen_workload_factor`` (same algebra as ``apply_platform_effect``).
+        Drives the consolidated pool's instantaneous power telemetry."""
+        base = self.power_model.base_watts * self.xen_idle_factor
+        dynamic = (
+            self.power_model.max_watts - self.power_model.base_watts
+        ) * self.xen_workload_factor
+        return ServerPowerModel(base, base + dynamic)
 
     # -- power metering ---------------------------------------------------------------
 

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..obs import get_registry
+from ..obs import get_bus, get_registry
 
 __all__ = ["Simulator", "ScheduledEvent"]
 
@@ -53,6 +53,13 @@ class ScheduledEvent:
 class Simulator:
     """Event loop with virtual time."""
 
+    # Registry instruments; None when only the telemetry bus is enabled, so
+    # _step_telemetry can serve both configurations with one bound method.
+    _c_executed = None
+    _c_skipped = None
+    _g_pending = None
+    _g_now = None
+
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
@@ -77,6 +84,22 @@ class Simulator:
             )
             # Shadow the class method so the disabled path never branches.
             self.step = self._step_instrumented  # type: ignore[method-assign]
+        bus = get_bus()
+        if bus.enabled:
+            bus.attach_simulator(self)
+            self._ts_executed = bus.counter("engine.events", {"kind": "executed"})
+            self._ts_skipped_add = bus.counter(
+                "engine.events", {"kind": "skipped"}
+            ).add
+            # Cached bucket window [lo, hi, values, idx] for the
+            # executed-events series: the hot loop increments the current
+            # bucket with plain float compares (no method call, no
+            # division) and falls back to the series' own add() only when
+            # an event crosses a bucket boundary.  Refreshed on every
+            # miss, so decimation inside add() — which swaps the value
+            # list and doubles the width — is picked up.
+            self._ts_cache: list = [0.0, -1.0, None, 0]
+            self._bind_telemetry_step()
 
     @property
     def now(self) -> float:
@@ -130,6 +153,65 @@ class Simulator:
             event.callback()
             return True
         return False
+
+    def _bind_telemetry_step(self) -> None:
+        """Install the telemetry step as a closure over hot-loop state.
+
+        The per-event budget here is tight (the bench asserts telemetry
+        stays within 15% of the disabled engine), and on CPython closure
+        cells are several times cheaper to read than instance attributes —
+        so everything the loop touches every event is captured in cells.
+        The closure also drives the registry instruments (if any), so the
+        two instrumented step variants never need to compose.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        cache = self._ts_cache
+        miss = self._ts_miss
+        skipped_add = self._ts_skipped_add
+        c_executed = self._c_executed
+        c_skipped = self._c_skipped
+        g_pending = self._g_pending
+        g_now = self._g_now
+
+        def step() -> bool:
+            while heap:
+                event = pop(heap)
+                if event.cancelled:
+                    self._dead -= 1
+                    skipped_add(self._now)
+                    if c_skipped is not None:
+                        c_skipped.inc()
+                    continue
+                event.sim = None
+                t = event.time
+                self._now = t
+                if cache[0] <= t < cache[1]:
+                    cache[2][cache[3]] += 1.0
+                else:
+                    miss(t)
+                if c_executed is not None:
+                    c_executed.inc()
+                    g_pending.set(len(heap) - self._dead)
+                    g_now.set(t)
+                event.callback()
+                return True
+            return False
+
+        self.step = step  # type: ignore[method-assign]
+
+    def _ts_miss(self, t: float) -> None:
+        """Slow path of the telemetry step: record the event through the
+        series API, then re-cache the bucket window it landed in."""
+        series = self._ts_executed
+        series.add(t)
+        width = series.bucket_width
+        idx = int(t / width)
+        cache = self._ts_cache
+        cache[0] = idx * width
+        cache[1] = cache[0] + width
+        cache[2] = series._values
+        cache[3] = idx
 
     def run(self, until: float | None = None) -> None:
         """Run events until the heap drains or virtual time passes ``until``.

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.inputs import ResourceKind
+from ..core.power import ServerPowerModel
+from ..obs import get_bus
 from ..queueing.distributions import Distribution, Exponential, as_distribution
 from .engine import Simulator
 from .metrics import LossCounter, TimeWeightedStat
@@ -214,7 +217,14 @@ class LossNetwork:
     a max over resources.
     """
 
-    def __init__(self, servers: int, services: Sequence[ServiceTraffic]):
+    def __init__(
+        self,
+        servers: int,
+        services: Sequence[ServiceTraffic],
+        *,
+        pool: str = "pool",
+        power_model: ServerPowerModel | None = None,
+    ):
         if servers < 1:
             raise ValueError(f"servers must be >= 1, got {servers}")
         if not services:
@@ -224,15 +234,55 @@ class LossNetwork:
             raise ValueError(f"duplicate service names: {names}")
         self.servers = servers
         self.services = tuple(services)
+        self.pool = pool
+        self.power_model = power_model
         self.resources: tuple[ResourceKind, ...] = tuple(
             {kind: None for s in services for kind in s.holding}
         )
+        # Construct-time telemetry binding (see repro.obs.timeseries): the
+        # bus active *now* records this network's runs; with the default
+        # null bus the run loop takes the untelemetered closures below.
+        self._bus = get_bus()
+
+    @staticmethod
+    def _compile_rate_schedule(
+        rate_schedule: Mapping[str, Sequence[tuple[float, float]]] | None,
+        names: set[str],
+    ) -> dict[str, tuple[list[float], list[float], float]]:
+        """Validate and index piecewise-constant rate steps per service."""
+        if not rate_schedule:
+            return {}
+        compiled: dict[str, tuple[list[float], list[float], float]] = {}
+        for name, steps in rate_schedule.items():
+            if name not in names:
+                raise ValueError(
+                    f"rate schedule names unknown service {name!r}; "
+                    f"have {sorted(names)}"
+                )
+            pairs = sorted((float(t), float(r)) for t, r in steps)
+            if not pairs:
+                raise ValueError(f"{name}: rate schedule must be non-empty")
+            for when, rate in pairs:
+                if when < 0.0:
+                    raise ValueError(f"{name}: schedule times must be >= 0, got {when}")
+                if rate < 0.0:
+                    raise ValueError(f"{name}: rates must be >= 0, got {rate}")
+            peak = max(rate for _, rate in pairs)
+            if peak <= 0.0:
+                raise ValueError(f"{name}: rate schedule is identically zero")
+            compiled[name] = (
+                [when for when, _ in pairs],
+                [rate for _, rate in pairs],
+                peak,
+            )
+        return compiled
 
     def run(
         self,
         horizon: float,
         rng: np.random.Generator,
         capacity_schedule: Sequence[tuple[float, int]] = (),
+        rate_schedule: Mapping[str, Sequence[tuple[float, float]]] | None = None,
     ) -> LossNetworkResult:
         """Simulate ``[0, horizon]`` of virtual time.
 
@@ -242,6 +292,15 @@ class LossNetwork:
         growing).  In-flight requests on removed machines are allowed to
         drain — capacity reductions only gate *new* admissions, the
         graceful-decommission semantics of live migration.
+
+        ``rate_schedule`` makes named services' arrival streams
+        nonhomogeneous Poisson: per service, sorted ``(time, rate)`` steps
+        hold from each time onward (rate 0 before the first).  Arrivals are
+        generated by thinning — candidates drawn at the schedule's peak
+        rate, each accepted with probability ``rate(t)/peak`` — so a
+        constant schedule reproduces the homogeneous distribution.
+        Services without an entry keep their homogeneous
+        ``arrival_rate`` stream on the byte-identical legacy RNG path.
         """
         if horizon <= 0.0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -251,6 +310,9 @@ class LossNetwork:
                 raise ValueError(f"schedule times must be >= 0, got {when}")
             if count < 0:
                 raise ValueError(f"scheduled capacity must be >= 0, got {count}")
+        thinned = self._compile_rate_schedule(
+            rate_schedule, {s.name for s in self.services}
+        )
         sim = Simulator()
         states = {
             kind: _ResourceState(
@@ -260,9 +322,66 @@ class LossNetwork:
         }
         counters = {s.name: LossCounter() for s in self.services}
 
+        # Telemetry series (construct-time-bound bus; all no-ops when the
+        # bus is the null singleton, and `telemetry` keeps even the no-op
+        # calls off the disabled hot path).
+        bus = self._bus
+        telemetry = bus.enabled
+        own_gauges: list = []
+        if telemetry:
+            bus.attach_simulator(sim)
+            pool_labels = {"pool": self.pool}
+            occ_g = {
+                kind: bus.gauge(
+                    "pool.occupancy", {"pool": self.pool, "resource": kind.value}
+                )
+                for kind in self.resources
+            }
+            cap_g = bus.gauge("pool.capacity", pool_labels)
+            busy_g = bus.gauge("pool.busy_servers", pool_labels)
+            arr_c = {
+                s.name: bus.counter(
+                    "pool.arrivals", {"pool": self.pool, "service": s.name}
+                )
+                for s in self.services
+            }
+            adm_c = {
+                s.name: bus.counter(
+                    "pool.admits", {"pool": self.pool, "service": s.name}
+                )
+                for s in self.services
+            }
+            los_c = {
+                s.name: bus.counter(
+                    "pool.losses", {"pool": self.pool, "service": s.name}
+                )
+                for s in self.services
+            }
+            pm = self.power_model
+            pow_g = bus.gauge("pool.power_watts", pool_labels) if pm else None
+            own_gauges = list(occ_g.values()) + [cap_g, busy_g]
+            cap_g.set(0.0, float(self.servers))
+            if pow_g is not None:
+                own_gauges.append(pow_g)
+                pow_g.set(0.0, self.servers * pm.base_watts)
+
+            def record_level() -> None:
+                busy = max(st.in_use for st in states.values())
+                capacity = next(iter(states.values())).capacity
+                busy_g.set(sim.now, float(busy))
+                if pow_g is not None:
+                    pow_g.set(
+                        sim.now,
+                        capacity * pm.base_watts
+                        + (pm.max_watts - pm.base_watts) * min(busy, capacity),
+                    )
+
         def set_capacity(count: int) -> None:
             for st in states.values():
                 st.capacity = count
+            if telemetry:
+                cap_g.set(sim.now, float(count))
+                record_level()
 
         for when, count in schedule:
             if when <= horizon:
@@ -272,9 +391,28 @@ class LossNetwork:
             st = states[kind]
             st.busy_stat.update(sim.now, st.in_use - 1)
             st.in_use -= 1
+            if telemetry:
+                occ_g[kind].set(sim.now, float(st.in_use))
+                record_level()
+
+        def next_thinned(name: str) -> float | None:
+            """Next accepted arrival after ``sim.now`` (or None past the
+            horizon) for a rate-scheduled service."""
+            times, rates, peak = thinned[name]
+            t = sim.now
+            while True:
+                t += rng.exponential(1.0 / peak)
+                if t > horizon:
+                    return None
+                idx = bisect_right(times, t) - 1
+                rate = rates[idx] if idx >= 0 else 0.0
+                if rng.random() * peak < rate:
+                    return t
 
         def arrive(service: ServiceTraffic) -> None:
             needed = list(service.holding)
+            if telemetry:
+                arr_c[service.name].add(sim.now)
             if all(states[k].in_use < states[k].capacity for k in needed):
                 counters[service.name].record(True)
                 for kind in needed:
@@ -283,16 +421,32 @@ class LossNetwork:
                     st.in_use += 1
                     hold = float(service.holding[kind].sample(rng))
                     sim.schedule_in(hold, lambda k=kind: release(k))
+                if telemetry:
+                    adm_c[service.name].add(sim.now)
+                    for kind in needed:
+                        occ_g[kind].set(sim.now, float(states[kind].in_use))
+                    record_level()
             else:
                 counters[service.name].record(False)
-            # Next arrival of this service (per-service Poisson stream).
-            if service.arrival_rate > 0.0:
+                if telemetry:
+                    los_c[service.name].add(sim.now)
+            # Next arrival of this service (per-service Poisson stream,
+            # thinned against the rate schedule when one is given).
+            if service.name in thinned:
+                nxt = next_thinned(service.name)
+                if nxt is not None:
+                    sim.schedule_at(nxt, lambda s=service: arrive(s))
+            elif service.arrival_rate > 0.0:
                 gap = rng.exponential(1.0 / service.arrival_rate)
                 if sim.now + gap <= horizon:
                     sim.schedule_in(gap, lambda s=service: arrive(s))
 
         for service in self.services:
-            if service.arrival_rate > 0.0:
+            if service.name in thinned:
+                first = next_thinned(service.name)
+                if first is not None:
+                    sim.schedule_at(first, lambda s=service: arrive(s))
+            elif service.arrival_rate > 0.0:
                 first = rng.exponential(1.0 / service.arrival_rate)
                 if first <= horizon:
                     sim.schedule_at(first, lambda s=service: arrive(s))
@@ -301,6 +455,10 @@ class LossNetwork:
         end = max(sim.now, horizon)
         for st in states.values():
             st.busy_stat.finalize(end)
+        # Close only this network's gauges: other pools sharing the bus may
+        # still be mid-run on their own virtual timelines.
+        for gauge in own_gauges:
+            gauge.finalize(end)
 
         return LossNetworkResult(
             servers=self.servers,

@@ -15,9 +15,46 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["DiurnalProfile", "TraceBundle", "consolidation_headroom"]
+__all__ = ["FlashCrowd", "DiurnalProfile", "TraceBundle", "consolidation_headroom"]
 
 _DAY = 24.0
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A transient surge multiplier on top of a diurnal profile.
+
+    Models the slashdot-effect bursts the diurnal shape cannot: a raised-
+    cosine bump centred at ``hour`` lifting the rate by up to ``magnitude``×
+    over a ``duration``-hour window.  The multiplier is exactly 1 outside
+    the window and peaks at ``magnitude`` in the centre, so it is bounded
+    in ``[1, magnitude]`` everywhere.
+    """
+
+    hour: float
+    magnitude: float
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hour < _DAY:
+            raise ValueError(f"flash-crowd hour must lie in [0, 24), got {self.hour}")
+        if self.magnitude < 1.0:
+            raise ValueError(
+                f"flash-crowd magnitude must be >= 1, got {self.magnitude}"
+            )
+        if not 0.0 < self.duration <= _DAY:
+            raise ValueError(
+                f"flash-crowd duration must lie in (0, 24], got {self.duration}"
+            )
+
+    def multiplier(self, hours: np.ndarray) -> np.ndarray:
+        """Rate multiplier at the given times (hours mod 24, vectorised)."""
+        t = np.asarray(hours, dtype=float) % _DAY
+        # Signed offset from the burst centre, wrapped into (-12, 12].
+        offset = (t - self.hour + _DAY / 2.0) % _DAY - _DAY / 2.0
+        inside = np.abs(offset) <= self.duration / 2.0
+        bump = 0.5 * (1.0 + np.cos(2.0 * np.pi * offset / self.duration))
+        return np.where(inside, 1.0 + (self.magnitude - 1.0) * bump, 1.0)
 
 
 @dataclass(frozen=True)
@@ -34,6 +71,7 @@ class DiurnalProfile:
     peak: float
     peak_hour: float = 14.0
     noise: float = 0.05
+    flash: FlashCrowd | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -53,7 +91,10 @@ class DiurnalProfile:
         phase = 2.0 * np.pi * (t - self.peak_hour) / _DAY
         # Raised cosine: 1 at the peak hour, 0 at the antipode.
         shape = 0.5 * (1.0 + np.cos(phase))
-        return self.base + (self.peak - self.base) * shape
+        rate = self.base + (self.peak - self.base) * shape
+        if self.flash is not None:
+            rate = rate * self.flash.multiplier(t)
+        return rate
 
     def sample(self, hours: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Noisy observation of the profile (never negative)."""

@@ -27,6 +27,7 @@ EXPECTED = {
     "ext-scale",
     "ext-multiservice",
     "ext-wan",
+    "ext-telemetry",
 }
 
 

@@ -1,0 +1,142 @@
+"""The telemetry extension experiment and its runner integration.
+
+Covers the PR's acceptance criteria: the diurnal run records a full
+telemetry timeline, both alarm kinds fire, the loss in the peak window ties
+back to Erlang B, and the exported ``repro.timeseries/v1`` artifact is
+bit-identical across ``--jobs`` values (telemetry rides in pickled
+experiment results, never in worker-process globals).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import main
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    load_timeseries_jsonl,
+    validate_timeseries_doc,
+)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-telemetry", seed=2009, fast=True)
+
+    def test_summary_shape(self, result):
+        s = result.summary
+        assert s["servers"] >= 1
+        assert 0.0 <= s["overall_loss"] <= 1.0
+        assert s["peak_offered_load"] > s["mean_offered_load"]
+        assert s["telemetry_series"] > 0
+
+    def test_both_alarm_kinds_fire(self, result):
+        assert result.summary["overload_fires"] >= 1
+        assert result.summary["underload_fires"] >= 1
+        assert result.summary["both_alarm_kinds_fired"] is True
+
+    def test_peak_loss_ties_to_erlang(self, result):
+        # The diurnal peak window behaves quasi-stationarily, so the
+        # simulated loss there should land near the Erlang-B prediction
+        # for the peak offered load (generous band: finite window).
+        assert result.summary["peak_loss_vs_erlang"] == pytest.approx(
+            1.0, abs=0.6
+        )
+
+    def test_artifacts_carry_valid_timeseries_docs(self, result):
+        docs = result.artifacts["timeseries"]
+        assert docs
+        for doc in docs:
+            validate_timeseries_doc(doc)
+        kinds = {d["kind"] for d in docs}
+        assert kinds == {"series", "alarm"}
+        series_names = {d["series"] for d in docs if d["kind"] == "series"}
+        assert {
+            "pool.occupancy",
+            "pool.capacity",
+            "pool.busy_servers",
+            "pool.arrivals",
+            "pool.admits",
+            "pool.losses",
+            "pool.power_watts",
+            "engine.events",
+        } <= series_names
+
+    def test_deterministic_across_repeat_runs(self, result):
+        again = run_experiment("ext-telemetry", seed=2009, fast=True)
+        assert again.summary == result.summary
+        assert again.artifacts["timeseries"] == result.artifacts["timeseries"]
+
+    def test_seed_changes_the_timeline(self, result):
+        other = run_experiment("ext-telemetry", seed=7, fast=True)
+        assert other.artifacts["timeseries"] != result.artifacts["timeseries"]
+
+
+class TestRunnerIntegration:
+    def run_jobs(self, tmp_path, capsys, jobs, *extra):
+        out = tmp_path / f"jobs{jobs}"
+        code = main([
+            "ext-telemetry", "--seed", "2009", "--jobs", str(jobs),
+            "--output", str(out),
+            "--timeseries-out", str(out / "timeseries.jsonl"),
+            *extra,
+        ])
+        capsys.readouterr()
+        assert code == 0
+        return out
+
+    def test_timeseries_bit_identical_across_jobs(self, tmp_path, capsys):
+        texts = {}
+        for jobs in (1, 2, 4):
+            out = self.run_jobs(tmp_path, capsys, jobs)
+            texts[jobs] = (out / "timeseries.jsonl").read_text()
+        assert texts[1] == texts[2] == texts[4]
+        series, alarms = load_timeseries_jsonl(
+            tmp_path / "jobs1" / "timeseries.jsonl"
+        )
+        assert series and alarms
+
+    def test_manifest_records_telemetry_block(self, tmp_path, capsys):
+        out = self.run_jobs(tmp_path, capsys, 1)
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        block = manifest["timeseries"]
+        assert block["out"] == str(out / "timeseries.jsonl")
+        assert block["documents"] > 0
+        assert block["alarm_events"] >= 2
+        assert manifest["trace"]["dropped_by_kind"] == {}
+
+    def test_alarms_flag_prints_transitions(self, tmp_path, capsys):
+        out = tmp_path / "alarmed"
+        code = main([
+            "ext-telemetry", "--seed", "2009",
+            "--output", str(out), "--alarms",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [
+            ln for ln in captured.out.splitlines()
+            if ln.strip().startswith("alarm ")
+        ]
+        assert any("fire" in ln for ln in lines)
+        assert any("clear" in ln for ln in lines)
+
+    def test_experiments_without_telemetry_export_empty_stream(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "plain"
+        code = main([
+            "table1", "--output", str(out),
+            "--timeseries-out", str(out / "timeseries.jsonl"),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        assert (out / "timeseries.jsonl").read_text() == ""
+
+    def test_schema_constant_matches_artifact(self, tmp_path, capsys):
+        out = self.run_jobs(tmp_path, capsys, 1)
+        first = json.loads(
+            (out / "timeseries.jsonl").read_text().splitlines()[0]
+        )
+        assert first["schema"] == TIMESERIES_SCHEMA

@@ -1,0 +1,149 @@
+"""Unit tests for the sliding-window threshold alarm manager."""
+
+import pytest
+
+from repro.obs import scoped_registry
+from repro.obs.alarms import AlarmEvent, AlarmManager, AlarmRule
+from repro.obs.timeseries import TelemetryBus, validate_timeseries_doc
+from repro.obs.trace import scoped_trace
+
+
+def bus_with_gauge(levels, name="pool.busy_servers", labels=None):
+    """A bus holding one gauge whose per-bucket means equal ``levels``."""
+    bus = TelemetryBus(bucket_width=1.0)
+    gauge = bus.gauge(name, labels)
+    for i, level in enumerate(levels):
+        gauge.set(float(i), level)
+    gauge.finalize(float(len(levels)))
+    return bus
+
+
+class TestAlarmRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlarmRule("", "s", "overload", 1.0)
+        with pytest.raises(ValueError):
+            AlarmRule("r", "s", "sideways", 1.0)
+        with pytest.raises(ValueError):
+            AlarmRule("r", "s", "overload", 1.0, window=0)
+        with pytest.raises(ValueError):
+            AlarmRule("r", "s", "overload", 1.0, debounce=0)
+        # Hysteresis must sit on the safe side of the firing threshold.
+        with pytest.raises(ValueError):
+            AlarmRule("r", "s", "overload", 1.0, clear=2.0)
+        with pytest.raises(ValueError):
+            AlarmRule("r", "s", "underload", 1.0, clear=0.5)
+
+    def test_clear_defaults_to_threshold(self):
+        rule = AlarmRule("r", "s", "overload", 3.0)
+        assert rule.clear_threshold == 3.0
+
+    def test_label_subset_match(self):
+        rule = AlarmRule("r", "s", "overload", 1.0, labels={"pool": "p"})
+        assert rule.matches("s", {"pool": "p", "resource": "cpu"})
+        assert not rule.matches("s", {"pool": "q"})
+        assert not rule.matches("other", {"pool": "p"})
+
+
+class TestEvaluate:
+    def test_overload_fire_and_clear(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0, 1.0, 1.0])
+        manager = AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0, clear=4.0),
+        ])
+        events = manager.evaluate(bus)
+        assert [(e.state, e.t) for e in events] == [("fire", 2.0), ("clear", 4.0)]
+
+    def test_underload_mirrors_overload(self):
+        bus = bus_with_gauge([9.0, 1.0, 1.0, 9.0, 9.0])
+        manager = AlarmManager([
+            AlarmRule("cold", "pool.busy_servers", "underload", 2.0, clear=5.0),
+        ])
+        events = manager.evaluate(bus)
+        assert [(e.state, e.t) for e in events] == [("fire", 2.0), ("clear", 4.0)]
+
+    def test_debounce_suppresses_single_bucket_spike(self):
+        spike = bus_with_gauge([1.0, 9.0, 1.0, 1.0, 1.0])
+        sustained = bus_with_gauge([1.0, 9.0, 9.0, 1.0, 1.0])
+        rule = AlarmRule("hot", "pool.busy_servers", "overload", 8.0, debounce=2)
+        assert AlarmManager([rule]).evaluate(spike) == []
+        events = AlarmManager([rule]).evaluate(sustained)
+        assert [e.state for e in events] == ["fire", "clear"]
+        assert events[0].t == 3.0  # second consecutive breach
+
+    def test_hysteresis_prevents_flapping(self):
+        # Oscillates around the firing threshold but never below clear.
+        bus = bus_with_gauge([9.0, 7.0, 9.0, 7.0, 9.0])
+        manager = AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0, clear=4.0),
+        ])
+        events = manager.evaluate(bus)
+        assert [e.state for e in events] == ["fire"]  # no clears, no re-fires
+
+    def test_window_smooths_the_signal(self):
+        bus = bus_with_gauge([0.0, 12.0, 0.0, 12.0])
+        windowed = AlarmRule(
+            "hot", "pool.busy_servers", "overload", 8.0, window=2
+        )
+        # Window means: 0, 6, 6, 6 — never reaches 8.
+        assert AlarmManager([windowed]).evaluate(bus) == []
+
+    def test_window_means_short_prefix(self):
+        means = AlarmManager._window_means([4.0, 8.0, 12.0], window=4)
+        assert means == [4.0, 6.0, 8.0]
+
+    def test_rule_applies_per_matching_series(self):
+        bus = TelemetryBus(bucket_width=1.0)
+        for pool in ("a", "b"):
+            g = bus.gauge("pool.busy_servers", {"pool": pool})
+            g.set(0.0, 9.0)
+            g.finalize(2.0)
+        manager = AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0),
+        ])
+        events = manager.evaluate(bus)
+        assert [e.labels["pool"] for e in events] == ["a", "b"]
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlarmRule("r", "s", "overload", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            AlarmManager([rule, rule])
+
+
+class TestEmit:
+    def test_events_reach_trace_and_registry(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0, 1.0, 1.0], labels={"pool": "p"})
+        manager = AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0, clear=4.0),
+        ])
+        with scoped_trace() as trace, scoped_registry() as registry:
+            events = manager.emit(manager.evaluate(bus))
+        assert len(events) == 2
+        kinds = [e.kind for e in trace.events()]
+        assert kinds.count("alarm") == 2
+        snapshot = registry.snapshot()["alarms_total"]
+        states = {
+            entry["labels"]["state"]: entry["value"]
+            for entry in snapshot["series"]
+        }
+        assert states == {"fire": 1.0, "clear": 1.0}
+
+    def test_summarize_counts_by_kind(self):
+        events = [
+            AlarmEvent("a", "overload", "fire", 1.0, 9.0, 8.0, "s", {}),
+            AlarmEvent("a", "overload", "clear", 2.0, 1.0, 4.0, "s", {}),
+            AlarmEvent("b", "underload", "fire", 3.0, 0.5, 1.0, "s", {}),
+        ]
+        assert AlarmManager([]).summarize(events) == {
+            "overload_fires": 1,
+            "underload_fires": 1,
+            "clears": 1,
+        }
+
+    def test_event_docs_validate_against_schema(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0, 1.0])
+        manager = AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0, clear=4.0),
+        ])
+        for event in manager.evaluate(bus):
+            validate_timeseries_doc(event.to_doc())

@@ -156,6 +156,7 @@ class TestManifest:
             "events": 1,
             "emitted": 1,
             "dropped": 0,
+            "dropped_by_kind": {},
             "capacity": trace.capacity,
         }
         assert manifest["environment"]["python"]
@@ -169,6 +170,7 @@ class TestManifest:
         assert manifest["trace"]["capacity"] == 4
         assert manifest["trace"]["emitted"] == 10
         assert manifest["trace"]["dropped"] == 6
+        assert manifest["trace"]["dropped_by_kind"] == {"event": 6}
         assert manifest["trace"]["events"] == 4
 
     def test_same_inputs_same_hash(self):

@@ -113,6 +113,75 @@ class TestRenderReport:
         assert '<svg class="spark"' in html
 
 
+def _series_doc(name="pool.busy_servers", labels=None, values=(1.0, 9.0, 2.0)):
+    return {
+        "schema": "repro.timeseries/v1",
+        "kind": "series",
+        "series": name,
+        "labels": labels or {"pool": "p"},
+        "agg": "gauge",
+        "t0": 0.0,
+        "bucket_width": 1.0,
+        "buckets": len(values),
+        "decimations": 0,
+        "values": list(values),
+    }
+
+
+def _alarm_doc(state="fire", t=2.0):
+    return {
+        "schema": "repro.timeseries/v1",
+        "kind": "alarm",
+        "rule": "hot",
+        "alarm_kind": "overload",
+        "state": state,
+        "t": t,
+        "value": 9.0,
+        "threshold": 8.0,
+        "series": "pool.busy_servers",
+        "labels": {"pool": "p"},
+    }
+
+
+class TestTimelineSection:
+    def test_renders_charts_and_alarm_table(self):
+        html = render_report(
+            timeseries_docs=[_series_doc(), _alarm_doc(), _alarm_doc("clear", 3.0)]
+        )
+        assert "<h2>Telemetry timeline</h2>" in html
+        assert "pool.busy_servers" in html
+        assert "<svg" in html
+        assert "Alarm transitions" in html
+        assert "badge-fail" in html  # fire
+        assert "badge-match" in html  # clear
+
+    def test_absent_docs_render_no_section(self):
+        html = render_report()
+        assert "Telemetry timeline" not in html
+        html = render_report(timeseries_docs=[])
+        assert "Telemetry timeline" not in html
+
+    def test_alarm_markers_only_on_matching_series(self):
+        other = _series_doc(name="pool.occupancy", labels={"pool": "p"})
+        html = render_report(timeseries_docs=[other, _alarm_doc()])
+        # The alarm doc targets busy_servers; occupancy gets no marker line.
+        assert "<title>hot fire" not in html
+
+    def test_chart_cap_truncates(self):
+        docs = [
+            _series_doc(name=f"s{i:03d}", labels={}) for i in range(30)
+        ]
+        html = render_report(timeseries_docs=docs)
+        assert "more series not charted" in html
+
+    def test_self_contained_with_timeline(self):
+        html = render_report(
+            timeseries_docs=[_series_doc(), _alarm_doc()]
+        )
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+
 class TestSparkline:
     def test_polyline_over_values(self):
         svg = _sparkline([1.0, 2.0, 3.0])
@@ -170,6 +239,43 @@ class TestCli:
         assert "badge-match" in html
         assert "e1" in html
         assert "report:" in capsys.readouterr().out
+
+    def test_timeseries_auto_discovered(self, results_dir, tmp_path, capsys):
+        (results_dir / "timeseries.jsonl").write_text(
+            json.dumps(_series_doc()) + "\n" + json.dumps(_alarm_doc()) + "\n"
+        )
+        out = tmp_path / "report.html"
+        assert main(["--results", str(results_dir), "--out", str(out)]) == 0
+        capsys.readouterr()
+        html = out.read_text()
+        assert "<h2>Telemetry timeline</h2>" in html
+        assert "pool.busy_servers" in html
+
+    def test_no_timeseries_degrades_without_error(
+        self, results_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "report.html"
+        assert main(["--results", str(results_dir), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "Telemetry timeline" not in out.read_text()
+
+    def test_foreign_jsonl_skipped_silently(self, results_dir, tmp_path, capsys):
+        (results_dir / "trace.jsonl").write_text('{"kind": "span_begin"}\n')
+        out = tmp_path / "report.html"
+        assert main(["--results", str(results_dir), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "Telemetry timeline" not in out.read_text()
+
+    def test_explicit_missing_timeseries_is_input_error(
+        self, results_dir, tmp_path, capsys
+    ):
+        code = main([
+            "--results", str(results_dir),
+            "--timeseries", str(tmp_path / "nope.jsonl"),
+            "--out", str(tmp_path / "r.html"),
+        ])
+        assert code == 2
+        assert "timeseries" in capsys.readouterr().err
 
     def test_missing_results_dir_is_input_error(self, tmp_path, capsys):
         code = main(["--results", str(tmp_path / "nope"), "--out", str(tmp_path / "r.html")])

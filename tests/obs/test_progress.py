@@ -29,6 +29,17 @@ def _reporter(clock, **kwargs):
     return ProgressReporter(**kwargs)
 
 
+class TestDefaultClock:
+    def test_default_clock_is_monotonic(self):
+        """Pin the wall-clock-jump fix: ETAs and stall detection must be
+        computed off ``time.monotonic``, never ``time.time`` — an NTP step
+        or DST change would otherwise produce negative elapsed times."""
+        import time
+
+        reporter = ProgressReporter(stream=io.StringIO())
+        assert reporter._clock is time.monotonic
+
+
 class TestHeartbeat:
     def test_counts_and_eta(self, clock):
         reporter = _reporter(clock, total=4)

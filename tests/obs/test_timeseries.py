@@ -1,0 +1,296 @@
+"""Unit tests for the virtual-time telemetry bus."""
+
+import json
+
+import pytest
+
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    CounterSeries,
+    GaugeSeries,
+    NullTelemetryBus,
+    TelemetryBus,
+    get_bus,
+    load_timeseries_jsonl,
+    scoped_bus,
+    set_bus,
+    validate_timeseries_doc,
+    write_timeseries_jsonl,
+)
+
+
+class TestCounterSeries:
+    def test_bucketing(self):
+        s = CounterSeries("arrivals", (), 1.0, 64)
+        s.add(0.2)
+        s.add(0.9)
+        s.add(2.5, amount=3.0)
+        assert s.values() == [2.0, 0.0, 3.0]
+        assert s.total == 5.0
+
+    def test_out_of_order_times_allowed(self):
+        # Counters have no level to integrate, so late samples just land
+        # in their (earlier) bucket.
+        s = CounterSeries("x", (), 1.0, 64)
+        s.add(5.5)
+        s.add(1.5)
+        assert s.values()[1] == 1.0
+        assert s.values()[5] == 1.0
+
+    def test_negative_time_rejected(self):
+        s = CounterSeries("x", (), 1.0, 64)
+        with pytest.raises(ValueError, match="non-negative"):
+            s.add(-0.5)
+
+    def test_decimation_preserves_total(self):
+        s = CounterSeries("x", (), 1.0, 4)
+        for t in range(10):
+            s.add(t + 0.5, amount=2.0)
+        assert s.total == 20.0
+        assert s.buckets <= 4
+        assert s.decimations >= 1
+        # Width doubled once per decimation.
+        assert s.bucket_width == 2.0**s.decimations
+
+    def test_decimation_merges_adjacent_pairs(self):
+        s = CounterSeries("x", (), 1.0, 4)
+        s.add(0.5, 1.0)
+        s.add(1.5, 2.0)
+        s.add(2.5, 4.0)
+        s.add(3.5, 8.0)
+        s.add(4.5, 16.0)  # forces one decimation
+        assert s.bucket_width == 2.0
+        assert s.values() == [3.0, 12.0, 16.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterSeries("", (), 1.0, 8)
+        with pytest.raises(ValueError):
+            CounterSeries("x", (), 0.0, 8)
+        with pytest.raises(ValueError):
+            CounterSeries("x", (), 1.0, 1)
+
+
+class TestGaugeSeries:
+    def test_constant_level_mean(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.set(0.0, 3.0)
+        g.finalize(4.0)
+        assert g.values() == [3.0, 3.0, 3.0, 3.0]
+
+    def test_piecewise_level_integration(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.set(0.0, 2.0)
+        g.set(0.5, 4.0)  # bucket 0: 0.5*2 + 0.5*4 = 3.0 mean
+        g.finalize(1.0)
+        assert g.values()[0] == pytest.approx(3.0)
+
+    def test_partial_trailing_bucket_not_diluted(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.set(0.0, 6.0)
+        g.finalize(1.5)  # half of bucket 1 covered at level 6
+        assert g.values() == [6.0, 6.0]
+
+    def test_zero_level_spans_horizon(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.finalize(3.0)
+        assert g.values() == [0.0, 0.0, 0.0]
+
+    def test_time_backwards_rejected(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.set(2.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            g.set(1.0, 2.0)
+
+    def test_level_spanning_many_buckets(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        g.set(0.0, 5.0)
+        g.set(3.5, 0.0)
+        g.finalize(5.0)
+        vals = g.values()
+        assert vals[:3] == [5.0, 5.0, 5.0]
+        assert vals[3] == pytest.approx(2.5)  # half covered at 5, half at 0
+        assert vals[4] == 0.0
+
+    def test_decimation_keeps_time_weighted_mean(self):
+        g = GaugeSeries("occ", (), 1.0, 4)
+        g.set(0.0, 2.0)
+        g.finalize(8.0)  # needs 8 buckets -> decimates to width 2
+        assert g.bucket_width == 2.0
+        for v in g.values():
+            assert v == pytest.approx(2.0)
+
+    def test_current_tracks_level(self):
+        g = GaugeSeries("occ", (), 1.0, 64)
+        assert g.current == 0.0
+        g.set(1.0, 7.5)
+        assert g.current == 7.5
+
+
+class TestTelemetryBus:
+    def test_get_or_create_by_name_and_labels(self):
+        bus = TelemetryBus()
+        a = bus.counter("c", {"pool": "x"})
+        b = bus.counter("c", {"pool": "x"})
+        c = bus.counter("c", {"pool": "y"})
+        assert a is b
+        assert a is not c
+        assert len(bus) == 2
+
+    def test_agg_kind_conflict_rejected(self):
+        bus = TelemetryBus()
+        bus.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            bus.gauge("m")
+
+    def test_series_sorted_for_export(self):
+        bus = TelemetryBus()
+        bus.counter("b")
+        bus.counter("a", {"k": "2"})
+        bus.counter("a", {"k": "1"})
+        keys = [(s.name, s.labels) for s in bus.series()]
+        assert keys == sorted(keys)
+
+    def test_clock_follows_simulator(self):
+        class FakeSim:
+            now = 12.5
+
+        bus = TelemetryBus()
+        assert bus.now == 0.0
+        bus.attach_simulator(FakeSim())
+        assert bus.now == 12.5
+        bus.detach_clock()
+        assert bus.now == 0.0
+
+    def test_finalize_closes_all_gauges(self):
+        bus = TelemetryBus()
+        g1 = bus.gauge("g1")
+        g2 = bus.gauge("g2")
+        g1.set(0.0, 1.0)
+        g2.set(0.0, 2.0)
+        bus.finalize(2.0)
+        assert g1.values() == [1.0, 1.0]
+        assert g2.values() == [2.0, 2.0]
+
+    def test_to_docs_validates(self):
+        bus = TelemetryBus()
+        bus.counter("c", {"pool": "p"}).add(0.5)
+        for doc in bus.to_docs():
+            validate_timeseries_doc(doc)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        bus = TelemetryBus()
+        bus.counter("c").add(1.5, 2.0)
+        g = bus.gauge("g", {"pool": "p"})
+        g.set(0.0, 3.0)
+        bus.finalize(2.0)
+        path = write_timeseries_jsonl(bus.to_docs(), tmp_path / "ts.jsonl")
+        series, alarms = load_timeseries_jsonl(path)
+        assert alarms == []
+        assert [d["series"] for d in series] == ["c", "g"]
+        assert series[1]["values"] == [3.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryBus(bucket_width=0.0)
+        with pytest.raises(ValueError):
+            TelemetryBus(max_buckets=1)
+
+
+class TestGlobalBinding:
+    def test_default_is_null(self):
+        assert isinstance(get_bus(), NullTelemetryBus)
+        assert not get_bus().enabled
+
+    def test_null_bus_is_inert(self):
+        bus = NullTelemetryBus()
+        series = bus.counter("x", {"a": "b"})
+        series.add(1.0)
+        series.set(1.0, 2.0)
+        assert series.values() == []
+        assert bus.to_docs() == []
+        assert bus.to_jsonl() == ""
+        assert len(bus) == 0
+
+    def test_scoped_bus_installs_and_restores(self):
+        before = get_bus()
+        with scoped_bus() as bus:
+            assert get_bus() is bus
+            assert bus.enabled
+        assert get_bus() is before
+
+    def test_set_bus_none_restores_null(self):
+        previous = set_bus(TelemetryBus())
+        try:
+            assert get_bus().enabled
+        finally:
+            set_bus(None)
+            assert not get_bus().enabled
+            set_bus(previous)
+
+
+class TestSchemaValidation:
+    def good_series(self):
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "kind": "series",
+            "series": "c",
+            "labels": {},
+            "agg": "counter",
+            "t0": 0.0,
+            "bucket_width": 1.0,
+            "buckets": 1,
+            "decimations": 0,
+            "values": [1.0],
+        }
+
+    def good_alarm(self):
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "kind": "alarm",
+            "rule": "r",
+            "alarm_kind": "overload",
+            "state": "fire",
+            "t": 1.0,
+            "value": 2.0,
+            "threshold": 1.5,
+            "series": "c",
+            "labels": {},
+        }
+
+    def test_good_docs_pass(self):
+        validate_timeseries_doc(self.good_series())
+        validate_timeseries_doc(self.good_alarm())
+
+    @pytest.mark.parametrize("corrupt", [
+        {"schema": "other/v0"},
+        {"kind": "mystery"},
+        {"agg": "histogram"},
+        {"buckets": 5},
+        {"bucket_width": -1.0},
+        {"values": "nope"},
+    ])
+    def test_bad_series_rejected(self, corrupt):
+        doc = {**self.good_series(), **corrupt}
+        with pytest.raises(ValueError):
+            validate_timeseries_doc(doc)
+
+    @pytest.mark.parametrize("corrupt", [
+        {"state": "maybe"},
+        {"t": "noon"},
+        {"rule": None},
+    ])
+    def test_bad_alarm_rejected(self, corrupt):
+        doc = {**self.good_alarm(), **corrupt}
+        with pytest.raises(ValueError):
+            validate_timeseries_doc(doc)
+
+    def test_write_rejects_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_timeseries_jsonl([{"schema": "bogus"}], tmp_path / "x.jsonl")
+
+    def test_load_rejects_corrupt_line(self, tmp_path):
+        path = tmp_path / "ts.jsonl"
+        path.write_text(json.dumps(self.good_series()) + "\nnot json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_timeseries_jsonl(path)

@@ -31,6 +31,17 @@ class TestTraceLog:
         assert log.emitted == 5
         assert log.dropped == 2
 
+    def test_drops_counted_per_kind(self):
+        log = TraceLog(capacity=2)
+        log.emit("a", kind="warning")
+        log.emit("b")  # fills the ring
+        log.emit("c")  # evicts the warning
+        log.emit("d")  # evicts b (kind "event")
+        assert log.dropped_by_kind == {"warning": 1, "event": 1}
+        # The property hands out a copy, not the live dict.
+        log.dropped_by_kind["warning"] = 99
+        assert log.dropped_by_kind["warning"] == 1
+
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             TraceLog(capacity=0)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs import TelemetryBus, scoped_bus
 from repro.simulation.engine import Simulator
 
 
@@ -118,3 +119,65 @@ class TestRunControl:
         sim.schedule_at(0.0, recurse)
         sim.run()
         assert len(errors) == 1
+
+
+class TestTelemetryStep:
+    """The construct-time-bound telemetry step and its bucket cache."""
+
+    def drive(self, bus, n=50, dt=0.5):
+        with scoped_bus(bus):
+            sim = Simulator()
+        for i in range(n):
+            sim.schedule_at(i * dt, lambda: None)
+        sim.run()
+        return sim
+
+    def test_every_executed_event_recorded(self):
+        bus = TelemetryBus(bucket_width=1.0)
+        self.drive(bus, n=50)
+        (executed,) = [
+            s for s in bus.series()
+            if s.name == "engine.events" and ("kind", "executed") in s.labels
+        ]
+        assert executed.total == 50.0
+        # Two 0.5-spaced events per unit-width bucket.
+        assert executed.values() == [2.0] * 25
+
+    def test_cancelled_events_counted_as_skipped(self):
+        bus = TelemetryBus(bucket_width=1.0)
+        with scoped_bus(bus):
+            sim = Simulator()
+        keep = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None).cancel()
+        sim.run()
+        assert keep is not None
+        skipped = [
+            s for s in bus.series()
+            if s.name == "engine.events" and ("kind", "skipped") in s.labels
+        ]
+        assert sum(s.total for s in skipped) == 1.0
+
+    def test_cache_survives_decimation(self):
+        # A horizon far beyond max_buckets forces mid-run decimation; the
+        # engine's cached bucket window must refresh, not drop samples.
+        bus = TelemetryBus(bucket_width=1.0, max_buckets=4)
+        self.drive(bus, n=200, dt=1.0)  # t up to 199 >> 4 buckets
+        (executed,) = [
+            s for s in bus.series()
+            if s.name == "engine.events" and ("kind", "executed") in s.labels
+        ]
+        assert executed.total == 200.0
+        assert executed.decimations >= 1
+        assert executed.buckets <= 4
+
+    def test_disabled_bus_leaves_plain_step(self):
+        sim = Simulator()
+        assert "step" not in vars(sim)  # class method, not a closure
+
+    def test_bus_clock_follows_virtual_time(self):
+        bus = TelemetryBus()
+        with scoped_bus(bus):
+            sim = Simulator()
+        sim.schedule_at(7.25, lambda: None)
+        sim.run()
+        assert bus.now == 7.25

@@ -134,3 +134,100 @@ class TestLossNetwork:
             LossNetwork(1, [t, t])
         with pytest.raises(ValueError):
             LossNetwork(1, [t]).run(0.0, np.random.default_rng())
+
+
+class TestTelemetryRecording:
+    def net(self, pool="web", power=False):
+        from repro.core.power import ServerPowerModel
+
+        return LossNetwork(
+            3,
+            [ServiceTraffic.exponential("s", 4.0, {CPU: 2.0})],
+            pool=pool,
+            power_model=ServerPowerModel() if power else None,
+        )
+
+    def test_pool_series_recorded(self, rng):
+        from repro.obs import TelemetryBus, scoped_bus
+
+        bus = TelemetryBus(bucket_width=10.0)
+        with scoped_bus(bus):
+            net = self.net(power=True)
+        result = net.run(100.0, rng)
+        names = {(s.name, dict(s.labels).get("pool")) for s in bus.series()}
+        for expected in (
+            "pool.occupancy", "pool.capacity", "pool.busy_servers",
+            "pool.arrivals", "pool.admits", "pool.losses",
+            "pool.power_watts",
+        ):
+            assert (expected, "web") in names
+        arrivals = next(
+            s for s in bus.series() if s.name == "pool.arrivals"
+        )
+        assert arrivals.total == result.total_arrived
+
+    def test_telemetry_does_not_disturb_rng(self, rng_factory):
+        from repro.obs import TelemetryBus, scoped_bus
+
+        plain = self.net().run(200.0, rng_factory(9))
+        with scoped_bus(TelemetryBus()):
+            observed = self.net().run(200.0, rng_factory(9))
+        assert observed.per_service_loss == plain.per_service_loss
+        assert observed.total_arrived == plain.total_arrived
+
+    def test_admits_plus_losses_equal_arrivals(self, rng):
+        from repro.obs import TelemetryBus, scoped_bus
+
+        bus = TelemetryBus(bucket_width=10.0)
+        with scoped_bus(bus):
+            net = self.net()
+        net.run(100.0, rng)
+        by_name = {s.name: s for s in bus.series()}
+        assert (
+            by_name["pool.admits"].total + by_name["pool.losses"].total
+            == by_name["pool.arrivals"].total
+        )
+
+
+class TestRateSchedule:
+    def traffic(self, rate=6.0):
+        return [ServiceTraffic.exponential("s", rate, {CPU: 2.0})]
+
+    def test_constant_schedule_matches_homogeneous_intensity(self, rng):
+        net = LossNetwork(4, self.traffic(rate=0.001))
+        result = net.run(
+            2000.0, rng, rate_schedule={"s": [(0.0, 6.0)]}
+        )
+        # Offered load 3 erlangs on 4 servers: loss well under 30%,
+        # arrivals close to 6/unit time.
+        assert result.total_arrived == pytest.approx(12000, rel=0.1)
+        assert result.per_service_loss["s"] < 0.3
+
+    def test_rate_steps_modulate_arrivals(self, rng):
+        net = LossNetwork(50, self.traffic())
+        quiet_then_busy = net.run(
+            100.0, rng,
+            rate_schedule={"s": [(0.0, 1.0), (50.0, 20.0)]},
+        )
+        assert quiet_then_busy.total_arrived == pytest.approx(
+            1.0 * 50 + 20.0 * 50, rel=0.15
+        )
+
+    def test_no_schedule_is_byte_identical_to_legacy_path(self, rng_factory):
+        legacy = LossNetwork(3, self.traffic()).run(300.0, rng_factory(4))
+        modern = LossNetwork(3, self.traffic()).run(
+            300.0, rng_factory(4), rate_schedule=None
+        )
+        assert legacy.per_service_arrived == modern.per_service_arrived
+        assert legacy.per_service_blocked == modern.per_service_blocked
+
+    def test_validation(self, rng):
+        net = LossNetwork(3, self.traffic())
+        with pytest.raises(ValueError, match="unknown service"):
+            net.run(10.0, rng, rate_schedule={"ghost": [(0.0, 1.0)]})
+        with pytest.raises(ValueError, match="non-empty"):
+            net.run(10.0, rng, rate_schedule={"s": []})
+        with pytest.raises(ValueError, match=">= 0"):
+            net.run(10.0, rng, rate_schedule={"s": [(-1.0, 1.0)]})
+        with pytest.raises(ValueError, match="identically zero"):
+            net.run(10.0, rng, rate_schedule={"s": [(0.0, 0.0)]})

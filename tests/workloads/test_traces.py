@@ -5,6 +5,7 @@ import pytest
 
 from repro.workloads.traces import (
     DiurnalProfile,
+    FlashCrowd,
     TraceBundle,
     consolidation_headroom,
 )
@@ -40,6 +41,55 @@ class TestDiurnalProfile:
             DiurnalProfile("x", 1.0, 2.0, peak_hour=25.0)
         with pytest.raises(ValueError):
             DiurnalProfile("x", 1.0, 2.0, noise=-0.1)
+
+    def test_sample_deterministic_under_fixed_seed(self):
+        p = DiurnalProfile("svc", base=2.0, peak=20.0, noise=0.1)
+        hours = np.linspace(0.0, 48.0, 97)
+        a = p.sample(hours, np.random.default_rng(2009))
+        b = p.sample(hours, np.random.default_rng(2009))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFlashCrowd:
+    def test_multiplier_bounded(self):
+        flash = FlashCrowd(hour=20.0, magnitude=3.0, duration=2.0)
+        hours = np.linspace(0.0, 72.0, 1441)
+        mult = flash.multiplier(hours)
+        assert (mult >= 1.0).all()
+        assert (mult <= 3.0).all()
+
+    def test_peak_at_centre_and_unity_outside(self):
+        flash = FlashCrowd(hour=20.0, magnitude=3.0, duration=2.0)
+        assert flash.multiplier(np.array([20.0]))[0] == pytest.approx(3.0)
+        # Exactly 1 outside the +/- duration/2 window.
+        assert flash.multiplier(np.array([17.0]))[0] == 1.0
+        assert flash.multiplier(np.array([23.0]))[0] == 1.0
+
+    def test_wraps_around_midnight(self):
+        flash = FlashCrowd(hour=23.5, magnitude=2.0, duration=2.0)
+        # 0.25h on day 2 sits 0.75h past the 23.5h centre — inside the bump.
+        assert flash.multiplier(np.array([24.25]))[0] > 1.0
+
+    def test_applied_multiplicatively_to_profile(self):
+        flash = FlashCrowd(hour=2.0, magnitude=2.5, duration=1.0)
+        plain = DiurnalProfile("svc", base=4.0, peak=10.0, peak_hour=14.0)
+        flashed = DiurnalProfile(
+            "svc", base=4.0, peak=10.0, peak_hour=14.0, flash=flash
+        )
+        at_centre = np.array([2.0])
+        assert flashed.rate(at_centre)[0] == pytest.approx(
+            2.5 * plain.rate(at_centre)[0]
+        )
+        away = np.array([14.0])
+        assert flashed.rate(away)[0] == pytest.approx(plain.rate(away)[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(hour=24.0, magnitude=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(hour=1.0, magnitude=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowd(hour=1.0, magnitude=2.0, duration=0.0)
 
 
 class TestTraceBundle:
@@ -92,3 +142,27 @@ class TestTraceBundle:
             bundle.per_service_peaks(0.0)
         with pytest.raises(ValueError):
             bundle.combined_peak(1.5)
+
+    def test_grid_mismatch_rejected(self):
+        hours = np.linspace(0.0, 24.0, 25)
+        with pytest.raises(ValueError, match="does not match the time grid"):
+            TraceBundle(hours=hours, traces={"svc": np.zeros(7)})
+
+    def test_sample_deterministic_under_fixed_seed(self):
+        profiles = [DiurnalProfile("svc", base=5.0, peak=50.0, noise=0.1)]
+        a = TraceBundle.sample(
+            profiles, days=2.0, samples_per_hour=4,
+            rng=np.random.default_rng(2009),
+        )
+        b = TraceBundle.sample(
+            profiles, days=2.0, samples_per_hour=4,
+            rng=np.random.default_rng(2009),
+        )
+        np.testing.assert_array_equal(a.traces["svc"], b.traces["svc"])
+
+    def test_quantile_one_is_max(self, rng):
+        bundle = self.make(rng)
+        assert bundle.combined_peak(1.0) == pytest.approx(bundle.combined.max())
+        peaks = bundle.per_service_peaks(1.0)
+        for name, tr in bundle.traces.items():
+            assert peaks[name] == pytest.approx(tr.max())
