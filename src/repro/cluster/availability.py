@@ -72,13 +72,16 @@ def servers_with_redundancy(
     required: int,
     reliability: ServerReliability,
     assurance: float = 0.999,
-    max_extra: int = 1000,
+    max_extra: int | None = None,
 ) -> int:
     """Smallest fleet covering ``required`` up-machines with ``assurance``.
 
-    Monotone in the fleet size, so a linear scan from ``required`` upward
-    terminates at the first feasible ``n`` (k = n - required is the
-    redundancy the operator quotes).
+    ``fleet_up_probability`` is monotone in the fleet size and tends to 1
+    as the fleet grows (any availability > 0), so a geometric expansion
+    followed by bisection always terminates — even for pathologically
+    unreliable servers where the answer is thousands of spares beyond
+    ``required``.  Pass ``max_extra`` to cap the spares an operator is
+    willing to consider; past the cap this raises ``RuntimeError``.
     """
     if required < 0:
         raise ValueError(f"required must be non-negative, got {required}")
@@ -86,13 +89,33 @@ def servers_with_redundancy(
         raise ValueError(f"assurance must lie in (0, 1), got {assurance}")
     if required == 0:
         return 0
-    for extra in range(max_extra + 1):
-        n = required + extra
-        if fleet_up_probability(n, required, reliability) >= assurance:
-            return n
-    raise RuntimeError(  # pragma: no cover - unreachable for sane inputs
-        f"no fleet within {max_extra} spares reaches assurance {assurance}"
-    )
+
+    def feasible(n: int) -> bool:
+        return fleet_up_probability(n, required, reliability) >= assurance
+
+    lo = required
+    if feasible(lo):
+        return lo
+    hi = max(2 * lo, lo + 1)
+    while not feasible(hi):
+        if max_extra is not None and hi - required > max_extra:
+            raise RuntimeError(
+                f"no fleet within {max_extra} spares reaches assurance {assurance}"
+            )
+        lo = hi
+        hi *= 2
+    # Invariant: lo infeasible, hi feasible; bisect to the boundary.
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    if max_extra is not None and hi - required > max_extra:
+        raise RuntimeError(
+            f"no fleet within {max_extra} spares reaches assurance {assurance}"
+        )
+    return hi
 
 
 def expected_loss_with_failures(

@@ -125,6 +125,10 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         ]
     )
     events = manager.emit(manager.evaluate(bus))
+    # Alarms still firing when the simulated day ends would otherwise leave
+    # no record; they ride the artifact stream as state="open_at_exit" docs
+    # (summary keys stay untouched — they are golden-pinned).
+    open_events = manager.emit(manager.open_alarms(bus))
     alarm_counts = manager.summarize(events)
 
     # Quasi-stationary fidelity check: mean offered load and measured loss
@@ -188,7 +192,9 @@ def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
         summary=summary,
         text=text,
         artifacts={
-            "timeseries": bus.to_docs() + [e.to_doc() for e in events],
+            "timeseries": bus.to_docs()
+            + [e.to_doc() for e in events]
+            + [e.to_doc() for e in open_events],
         },
     )
 

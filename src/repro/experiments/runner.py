@@ -467,6 +467,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                                 for d in telemetry_docs
                                 if d.get("kind") == "alarm"
                             ),
+                            # Alarms that never cleared before the run
+                            # ended — recorded so post-hoc audits can see
+                            # runs that finished mid-incident.
+                            "open_alarms": [
+                                {
+                                    "rule": d["rule"],
+                                    "alarm_kind": d.get("alarm_kind"),
+                                    "series": d.get("series"),
+                                    "t": d.get("t"),
+                                    "labels": d.get("labels", {}),
+                                }
+                                for d in telemetry_docs
+                                if d.get("kind") == "alarm"
+                                and d.get("state") == "open_at_exit"
+                            ],
                             "alarms_printed": bool(args.alarms),
                         },
                     },

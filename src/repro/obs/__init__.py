@@ -49,8 +49,10 @@ from .envinfo import (
 )
 from .export import (
     MANIFEST_SCHEMA,
+    PROMETHEUS_CONTENT_TYPE,
     build_manifest,
     inputs_hash,
+    parse_prometheus_text,
     prometheus_text,
     write_manifest,
     write_prometheus,
@@ -148,6 +150,8 @@ __all__ = [
     "set_trace",
     "scoped_trace",
     "prometheus_text",
+    "parse_prometheus_text",
+    "PROMETHEUS_CONTENT_TYPE",
     "write_prometheus",
     "write_trace_jsonl",
     "inputs_hash",

@@ -96,11 +96,17 @@ class AlarmRule:
 
 @dataclass(frozen=True)
 class AlarmEvent:
-    """One fire/clear transition at a virtual-time bucket boundary."""
+    """One fire/clear transition at a virtual-time bucket boundary.
+
+    ``state="open_at_exit"`` marks an alarm that was still firing when the
+    run (or server) shut down — without it, an alarm whose clear never
+    arrives vanishes from the record entirely (see
+    :meth:`AlarmManager.open_alarms`).
+    """
 
     rule: str
     kind: str
-    state: str  # "fire" | "clear"
+    state: str  # "fire" | "clear" | "open_at_exit"
     t: float
     value: float
     threshold: float
@@ -141,7 +147,28 @@ class AlarmManager:
                 labels = dict(series.labels)
                 if not rule.matches(series.name, labels):
                     continue
-                events.extend(self._walk(rule, series, labels))
+                events.extend(self._walk(rule, series, labels)[0])
+        events.sort(key=lambda e: (e.t, e.rule, e.series, sorted(e.labels.items())))
+        return events
+
+    def open_alarms(self, bus: TelemetryBus) -> list[AlarmEvent]:
+        """Alarms still firing at the end of the recorded series.
+
+        Returns one ``state="open_at_exit"`` event per (rule, series) pair
+        whose last transition was a fire without a matching clear, stamped
+        at the final bucket boundary.  Call at shutdown, after the last
+        :meth:`evaluate`, so runs that end mid-incident leave a record in
+        the trace and the run manifest instead of vanishing silently.
+        """
+        events: list[AlarmEvent] = []
+        for rule in self.rules:
+            for series in bus.series():
+                labels = dict(series.labels)
+                if not rule.matches(series.name, labels):
+                    continue
+                open_event = self._walk(rule, series, labels)[1]
+                if open_event is not None:
+                    events.append(open_event)
         events.sort(key=lambda e: (e.t, e.rule, e.series, sorted(e.labels.items())))
         return events
 
@@ -158,10 +185,14 @@ class AlarmManager:
             means.append(running / min(i + 1, window))
         return means
 
-    def _walk(self, rule: AlarmRule, series, labels) -> list[AlarmEvent]:
+    def _walk(
+        self, rule: AlarmRule, series, labels
+    ) -> tuple[list[AlarmEvent], AlarmEvent | None]:
+        """Transitions for one (rule, series) pair, plus the open-at-exit
+        event (``None`` unless the walk ends with the alarm still firing)."""
         values = series.values()
         if not values:
-            return []
+            return [], None
         means = self._window_means(values, rule.window)
         width = series.bucket_width
         events: list[AlarmEvent] = []
@@ -186,7 +217,14 @@ class AlarmManager:
                     value=mean, threshold=rule.clear_threshold,
                     series=series.name, labels=labels,
                 ))
-        return events
+        open_event = None
+        if firing:
+            open_event = AlarmEvent(
+                rule=rule.name, kind=rule.kind, state="open_at_exit",
+                t=len(means) * width, value=means[-1],
+                threshold=rule.threshold, series=series.name, labels=labels,
+            )
+        return events, open_event
 
     def emit(self, events: Iterable[AlarmEvent]) -> list[AlarmEvent]:
         """Publish events to the active trace log and metrics registry.
@@ -199,17 +237,33 @@ class AlarmManager:
         trace = get_trace()
         registry = get_registry()
         for event in events:
-            trace.emit(
-                event.rule,
-                kind="alarm",
-                alarm_kind=event.kind,
-                state=event.state,
-                t=event.t,
-                value=round(event.value, 6),
-                threshold=event.threshold,
-                series=event.series,
-                **{f"label_{k}": v for k, v in sorted(event.labels.items())},
-            )
+            if event.state == "open_at_exit":
+                # Open-at-exit is a shutdown diagnostic, not a transition:
+                # it gets a warning-kind event under a fixed name so log
+                # scrapes for unresolved incidents have one thing to grep.
+                trace.emit(
+                    "alarm_open_at_exit",
+                    kind="warning",
+                    rule=event.rule,
+                    alarm_kind=event.kind,
+                    t=event.t,
+                    value=round(event.value, 6),
+                    threshold=event.threshold,
+                    series=event.series,
+                    **{f"label_{k}": v for k, v in sorted(event.labels.items())},
+                )
+            else:
+                trace.emit(
+                    event.rule,
+                    kind="alarm",
+                    alarm_kind=event.kind,
+                    state=event.state,
+                    t=event.t,
+                    value=round(event.value, 6),
+                    threshold=event.threshold,
+                    series=event.series,
+                    **{f"label_{k}": v for k, v in sorted(event.labels.items())},
+                )
             registry.counter(
                 "alarms_total",
                 help="threshold alarm transitions",
@@ -218,11 +272,18 @@ class AlarmManager:
         return events
 
     def summarize(self, events: Iterable[AlarmEvent]) -> dict[str, int]:
-        """Count fires per alarm kind (+ total clears) — golden-pinnable."""
-        counts = {"overload_fires": 0, "underload_fires": 0, "clears": 0}
+        """Count fires per alarm kind (+ clears, open-at-exit) — golden-pinnable."""
+        counts = {
+            "overload_fires": 0,
+            "underload_fires": 0,
+            "clears": 0,
+            "open_at_exit": 0,
+        }
         for event in events:
             if event.state == "clear":
                 counts["clears"] += 1
+            elif event.state == "open_at_exit":
+                counts["open_at_exit"] += 1
             elif event.kind == "overload":
                 counts["overload_fires"] += 1
             else:

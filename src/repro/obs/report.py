@@ -406,6 +406,106 @@ def _section_timeline(
     return "".join(out)
 
 
+def _percentile(ordered: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile over pre-sorted values (None when empty)."""
+    if not ordered:
+        return None
+    import math
+
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _section_service(
+    access_docs: tuple[Sequence[Mapping[str, Any]], Sequence[Mapping[str, Any]]] | None,
+) -> str:
+    """Service latency timeline + per-endpoint table from an access log.
+
+    ``access_docs`` is the ``(requests, alarms)`` pair
+    :func:`repro.service.accesslog.load_access_log` returns.  Like the
+    telemetry timeline, this section renders nothing when no access log
+    exists — serving is opt-in.
+    """
+    if not access_docs:
+        return ""
+    requests, alarms = access_docs
+    if not requests:
+        return ""
+    out = ["<h2>Service</h2>"]
+    latencies = sorted(float(r["latency_ms"]) for r in requests)
+    t_max = max(float(r["t"]) for r in requests)
+    errors = sum(1 for r in requests if int(r["status"]) >= 500)
+    duration = max(t_max, 1e-9)
+    summary = {
+        "requests": len(requests),
+        "duration_s": round(duration, 3),
+        "throughput_rps": round(len(requests) / duration, 1),
+        "p50_ms": round(_percentile(latencies, 50.0), 3),
+        "p95_ms": round(_percentile(latencies, 95.0), 3),
+        "p99_ms": round(_percentile(latencies, 99.0), 3),
+        "server_errors": errors,
+        "error_rate": round(errors / len(requests), 6),
+        "alarm_transitions": len(alarms),
+    }
+    out.append(_kv_table(summary))
+
+    # Latency timeline: mean latency per 1-second bucket of service time,
+    # with SLO alarm markers overlaid (red fire / dashed green clear).
+    width = 1.0
+    buckets = int(t_max / width) + 1
+    sums = [0.0] * buckets
+    counts = [0] * buckets
+    for r in requests:
+        idx = min(int(float(r["t"]) / width), buckets - 1)
+        sums[idx] += float(r["latency_ms"])
+        counts[idx] += 1
+    values = [s / c if c else 0.0 for s, c in zip(sums, counts)]
+    out.append(
+        '<h3><span class="mono">request latency</span> '
+        '<span class="muted">mean ms per second of service time</span></h3>'
+    )
+    out.append(_timeline_chart(0.0, width, values, markers=alarms))
+
+    by_endpoint: dict[str, list[Mapping[str, Any]]] = {}
+    for r in requests:
+        by_endpoint.setdefault(str(r["endpoint"]), []).append(r)
+    rows = []
+    for endpoint in sorted(by_endpoint):
+        docs = by_endpoint[endpoint]
+        ordered = sorted(float(r["latency_ms"]) for r in docs)
+        bad = sum(1 for r in docs if int(r["status"]) >= 400)
+        rows.append(
+            (
+                f'<span class="mono">{_esc(endpoint)}</span>',
+                f'<span class="mono">{len(docs)}</span>',
+                f'<span class="mono">{bad}</span>',
+                f'<span class="mono">{_percentile(ordered, 50.0):.3f}</span>',
+                f'<span class="mono">{_percentile(ordered, 99.0):.3f}</span>',
+            )
+        )
+    out.append(
+        _table(("endpoint", "requests", "4xx/5xx", "p50 ms", "p99 ms"), rows)
+    )
+    if alarms:
+        rows = [
+            (
+                f'<span class="mono">{_esc(a.get("rule", "?"))}</span>',
+                f'<span class="badge badge-'
+                f'{"fail" if a.get("state") in ("fire", "open_at_exit") else "match"}">'
+                f'{_esc(a.get("state", "?"))}</span>',
+                f'<span class="mono">{_esc(_fmt(a.get("t")))}</span>',
+                f'<span class="mono">{_esc(_fmt(a.get("value")))}</span>',
+                f'<span class="mono">{_esc(_fmt(a.get("threshold")))}</span>',
+            )
+            for a in alarms
+        ]
+        out.append("<h3>SLO alarm transitions</h3>")
+        out.append(
+            _table(("rule", "state", "service time", "burn rate", "threshold"), rows)
+        )
+    return "".join(out)
+
+
 def _section_results(results: Sequence[Mapping[str, Any]]) -> str:
     out = ["<h2>Experiment results</h2>"]
     if not results:
@@ -437,6 +537,8 @@ def render_report(
     bench_comparison: Mapping[str, Any] | None = None,
     fidelity_doc: Mapping[str, Any] | None = None,
     timeseries_docs: Sequence[Mapping[str, Any]] | None = None,
+    access_docs: tuple[Sequence[Mapping[str, Any]], Sequence[Mapping[str, Any]]]
+    | None = None,
     results: Sequence[Mapping[str, Any]] = (),
     generated_utc: str | None = None,
 ) -> str:
@@ -471,6 +573,7 @@ def render_report(
             _section_metrics(metrics),
             _section_trace(trace_events, trace_stats),
             _section_timeline(timeseries_docs),
+            _section_service(access_docs),
             _section_bench(bench_docs, bench_comparison),
             _section_results(results),
         )
@@ -565,6 +668,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "omitted when none exists)",
     )
     parser.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="repro.access/v1 JSONL written by repro-serve to render as the "
+        "Service section (default: <results>/access.jsonl when present; "
+        "the section is omitted when none exists)",
+    )
+    parser.add_argument(
         "--fidelity",
         metavar="FILE",
         help="FIDELITY_*.json to show (default: evaluate declared "
@@ -621,7 +731,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such manifest: {manifest_path}", file=sys.stderr)
         return 2
 
-    if not results and manifest is None and not sorted(
+    # A service access log (explicit or discoverable) is renderable on
+    # its own — a repro-serve results dir has no experiment artifacts.
+    has_access_log = bool(args.access_log) or (results_dir / "access.jsonl").is_file()
+    if not results and manifest is None and not has_access_log and not sorted(
         results_dir.glob("FIDELITY_*.json")
     ):
         print(
@@ -665,6 +778,26 @@ def main(argv: Sequence[str] | None = None) -> int:
             if series_docs or alarm_docs:
                 timeseries_docs = series_docs + alarm_docs
                 break
+
+    # Imported lazily: repro.service pulls in the planner CLI stack, and
+    # repro.obs.__init__ imports this module — a top-level import would
+    # be circular.
+    from ..service.accesslog import load_access_log
+
+    access_docs = None
+    if args.access_log:
+        try:
+            access_docs = load_access_log(args.access_log)
+        except (OSError, ValueError) as exc:
+            print(f"error: unreadable access log: {exc}", file=sys.stderr)
+            return 2
+    else:
+        candidate = results_dir / "access.jsonl"
+        if candidate.is_file():
+            try:
+                access_docs = load_access_log(candidate)
+            except (OSError, ValueError):
+                access_docs = None  # foreign or truncated file: no section
 
     if args.fidelity:
         try:
@@ -714,6 +847,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         bench_comparison=bench_comparison,
         fidelity_doc=fidelity_doc,
         timeseries_docs=timeseries_docs,
+        access_docs=access_docs,
         results=results,
     )
     try:

@@ -454,7 +454,7 @@ def validate_timeseries_doc(doc: Mapping[str, Any]) -> None:
         ):
             if not isinstance(doc.get(field), types):
                 raise ValueError(f"alarm document field {field!r} missing or mistyped")
-        if doc["state"] not in ("fire", "clear"):
+        if doc["state"] not in ("fire", "clear", "open_at_exit"):
             raise ValueError(f"unknown alarm state {doc['state']!r}")
     else:
         raise ValueError(f"unknown document kind {kind!r}")

@@ -1,0 +1,39 @@
+"""Capacity-planner-as-a-service: the paper's analysis behind HTTP.
+
+The ROADMAP's open "capacity-planner-as-a-service" item: a long-running
+stdlib-only threaded HTTP service (`repro-serve`) answering
+"how many servers / what placement for this service mix" queries
+(``POST /plan``) at high request rates, with first-class operational
+telemetry — live Prometheus ``/metrics``, per-request trace spans and a
+structured JSONL access log, SLO attainment + error-budget burn tracking
+wired into the shared alarm vocabulary, and a deterministic closed-loop
+load-test client writing append-only ``BENCH_*.json`` artifacts.
+
+Layering: :mod:`.app` is the socket-free request core (unit-testable by
+direct invocation), :mod:`.server` the ``http.server`` adapter and CLI,
+:mod:`.slo` and :mod:`.accesslog` the operational state, and
+:mod:`.loadtest` the client.
+"""
+
+from .accesslog import ACCESS_SCHEMA, AccessLog, NullAccessLog, load_access_log
+from .app import JSON_CONTENT_TYPE, PlannerApp, Response
+from .loadtest import LoadTestResult, MixGenerator, loadtest_artifact, run_loadtest
+from .server import PlannerServer
+from .slo import SLOTracker, percentile
+
+__all__ = [
+    "ACCESS_SCHEMA",
+    "AccessLog",
+    "NullAccessLog",
+    "load_access_log",
+    "JSON_CONTENT_TYPE",
+    "PlannerApp",
+    "Response",
+    "LoadTestResult",
+    "MixGenerator",
+    "loadtest_artifact",
+    "run_loadtest",
+    "PlannerServer",
+    "SLOTracker",
+    "percentile",
+]

@@ -1,0 +1,162 @@
+"""Structured JSONL access log for the planner service.
+
+One document per line, schema ``repro.access/v1``.  Two kinds share the
+stream so a single file tells the whole operational story:
+
+- ``kind="request"`` — one per finished HTTP request: propagated request
+  id, method/path/endpoint, status, latency, body sizes, and the elapsed
+  service time offset (``t``, seconds since server start) the report
+  timeline buckets on;
+- ``kind="alarm"`` — SLO burn-rate transitions (and open-at-exit
+  records), copied from :class:`~repro.obs.alarms.AlarmEvent` documents,
+  so the report can draw alarm markers over the latency timeline without
+  a second artifact.
+
+Writes are line-atomic under a lock; ``repro-report`` loads the file
+back with :func:`load_access_log`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ACCESS_SCHEMA",
+    "AccessLog",
+    "NullAccessLog",
+    "load_access_log",
+]
+
+ACCESS_SCHEMA = "repro.access/v1"
+
+_REQUEST_FIELDS = (
+    ("request_id", str),
+    ("method", str),
+    ("path", str),
+    ("endpoint", str),
+    ("status", int),
+    ("latency_ms", (int, float)),
+    ("t", (int, float)),
+)
+
+
+class AccessLog:
+    """Append-only JSONL writer; safe for concurrent handler threads."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def log_request(
+        self,
+        *,
+        request_id: str,
+        method: str,
+        path: str,
+        endpoint: str,
+        status: int,
+        latency_ms: float,
+        t: float,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+    ) -> None:
+        self._write({
+            "schema": ACCESS_SCHEMA,
+            "kind": "request",
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "endpoint": endpoint,
+            "status": int(status),
+            "latency_ms": round(float(latency_ms), 3),
+            "t": round(float(t), 3),
+            "bytes_in": int(bytes_in),
+            "bytes_out": int(bytes_out),
+        })
+
+    def log_alarm(self, alarm_doc: dict[str, Any]) -> None:
+        """Record an alarm document (from ``AlarmEvent.to_doc()``)."""
+        doc = dict(alarm_doc)
+        doc["schema"] = ACCESS_SCHEMA
+        doc["kind"] = "alarm"
+        self._write(doc)
+
+    def _write(self, doc: dict[str, Any]) -> None:
+        line = json.dumps(doc, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self.written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+
+class NullAccessLog:
+    """Inert stand-in when no ``--access-log`` path was given."""
+
+    path = None
+    written = 0
+
+    def log_request(self, **fields: Any) -> None:
+        pass
+
+    def log_alarm(self, alarm_doc: dict[str, Any]) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def load_access_log(path: str | Path) -> tuple[list[dict], list[dict]]:
+    """Load and validate an access log; returns ``(requests, alarms)``.
+
+    Raises ``ValueError`` on documents that do not carry the schema or
+    are missing required request fields — truncated lines are reported
+    with their line number so a partially-flushed log fails loudly.
+    """
+    requests: list[dict] = []
+    alarms: list[dict] = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            if doc.get("schema") != ACCESS_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: expected schema {ACCESS_SCHEMA!r}, "
+                    f"got {doc.get('schema')!r}"
+                )
+            kind = doc.get("kind")
+            if kind == "request":
+                for field, types in _REQUEST_FIELDS:
+                    if not isinstance(doc.get(field), types):
+                        raise ValueError(
+                            f"{path}:{lineno}: request document field "
+                            f"{field!r} missing or mistyped"
+                        )
+                requests.append(doc)
+            elif kind == "alarm":
+                alarms.append(doc)
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown document kind {kind!r}")
+    return requests, alarms

@@ -138,6 +138,7 @@ class TestEmit:
             "overload_fires": 1,
             "underload_fires": 1,
             "clears": 1,
+            "open_at_exit": 0,
         }
 
     def test_event_docs_validate_against_schema(self):
@@ -147,3 +148,51 @@ class TestEmit:
         ])
         for event in manager.evaluate(bus):
             validate_timeseries_doc(event.to_doc())
+
+
+class TestOpenAtExit:
+    def _manager(self):
+        return AlarmManager([
+            AlarmRule("hot", "pool.busy_servers", "overload", 8.0, clear=4.0),
+        ])
+
+    def test_unresolved_fire_is_reported_open(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0])  # fires at t=2, never clears
+        manager = self._manager()
+        open_events = manager.open_alarms(bus)
+        assert [(e.rule, e.state, e.t) for e in open_events] == [
+            ("hot", "open_at_exit", 3.0)
+        ]
+        # evaluate() itself still only reports the transition.
+        assert [e.state for e in manager.evaluate(bus)] == ["fire"]
+
+    def test_cleared_alarm_is_not_open(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0, 1.0, 1.0])
+        assert self._manager().open_alarms(bus) == []
+
+    def test_never_fired_is_not_open(self):
+        bus = bus_with_gauge([1.0, 1.0, 1.0])
+        assert self._manager().open_alarms(bus) == []
+
+    def test_emit_writes_warning_trace_event_and_counter(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0], labels={"pool": "p"})
+        manager = self._manager()
+        with scoped_trace() as trace, scoped_registry() as registry:
+            manager.emit(manager.open_alarms(bus))
+        events = [e for e in trace.events() if e.name == "alarm_open_at_exit"]
+        assert len(events) == 1
+        assert events[0].kind == "warning"
+        assert events[0].fields["rule"] == "hot"
+        snapshot = registry.snapshot()["alarms_total"]
+        ((entry,),) = [snapshot["series"]]
+        assert entry["labels"] == {"rule": "hot", "state": "open_at_exit"}
+
+    def test_open_doc_validates_and_summarizes(self):
+        bus = bus_with_gauge([1.0, 9.0, 9.0])
+        manager = self._manager()
+        open_events = manager.open_alarms(bus)
+        for event in open_events:
+            validate_timeseries_doc(event.to_doc())
+        counts = manager.summarize(manager.evaluate(bus) + open_events)
+        assert counts["overload_fires"] == 1
+        assert counts["open_at_exit"] == 1

@@ -7,11 +7,13 @@ import pytest
 from repro import __version__
 from repro.obs import (
     MANIFEST_SCHEMA,
+    PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
     TraceLog,
     build_manifest,
     environment_fingerprint,
     inputs_hash,
+    parse_prometheus_text,
     prometheus_text,
     write_manifest,
     write_prometheus,
@@ -106,6 +108,73 @@ class TestPrometheusEscaping:
         text = prometheus_text(reg)
         assert '# HELP plain simple' in text
         assert 'plain{a="b"} 1' in text
+
+
+class TestParsePrometheusText:
+    """Round-trip conformance: everything we render must parse back."""
+
+    def test_round_trip_families(self):
+        families = parse_prometheus_text(prometheus_text(_populated_registry()))
+        assert families["requests_total"]["kind"] == "counter"
+        assert families["requests_total"]["help"] == "seen requests"
+        assert families["requests_total"]["samples"] == [
+            ("requests_total", {}, 12.0)
+        ]
+        assert families["depth"]["kind"] == "gauge"
+        # Families registered without help self-describe with their name.
+        assert families["picks_total"]["help"] == "picks_total"
+        labelled = {
+            labels["backend"]: value
+            for _, labels, value in families["picks_total"]["samples"]
+        }
+        assert labelled == {"0": 3.0, "1": 4.0}
+
+    def test_round_trip_histogram_and_timer(self):
+        families = parse_prometheus_text(prometheus_text(_populated_registry()))
+        assert families["latency"]["kind"] == "histogram"
+        bucket_les = [
+            labels["le"]
+            for name, labels, _ in families["latency"]["samples"]
+            if name == "latency_bucket"
+        ]
+        assert bucket_les[-1] == "+Inf"
+        names = {name for name, _, _ in families["latency"]["samples"]}
+        assert names == {"latency_bucket", "latency_sum", "latency_count"}
+        assert families["solve_seconds"]["kind"] == "histogram"
+
+    def test_round_trip_nasty_label_values(self):
+        nasty = 'quote:" backslash:\\ newline:\nend'
+        reg = MetricsRegistry()
+        reg.counter("y", labels={"k": nasty}).inc()
+        families = parse_prometheus_text(prometheus_text(reg))
+        ((_, labels, value),) = families["y"]["samples"]
+        assert labels == {"k": nasty}
+        assert value == 1.0
+
+    def test_empty_text_parses_empty(self):
+        assert parse_prometheus_text("") == {}
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "no_type_declared 1\n",
+            "# TYPE x counter\n# TYPE x counter\nx 1\n",
+            "# HELP x one\n# HELP x two\n# TYPE x counter\nx 1\n",
+            "# TYPE x widget\nx 1\n",
+            "# HELP x h\n# TYPE x counter\nx notanumber\n",
+            "# HELP x h\n# TYPE x counter\nx{k=unquoted} 1\n",
+            "# HELP x h\n# TYPE x counter\n",  # TYPE without samples
+            "# HELP x h\n# TYPE x counter\nx_sum 1\nx 1\n",  # suffix on counter
+            "# TYPE x counter\nx 1\n",  # missing HELP
+            "# HELP x h\n",  # HELP without TYPE
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
 
 
 class TestEnvironmentFingerprint:

@@ -1,0 +1,110 @@
+"""Load-test client tests: deterministic mix, artifact shape, end-to-end run."""
+
+import json
+
+import pytest
+
+from repro.cli import parse_deployment
+from repro.obs.bench import validate_artifact
+from repro.service import (
+    LoadTestResult,
+    MixGenerator,
+    PlannerApp,
+    PlannerServer,
+    loadtest_artifact,
+    run_loadtest,
+)
+
+
+class TestMixGenerator:
+    def test_same_seed_same_bodies(self):
+        first = MixGenerator(seed=2009, distinct=32)
+        second = MixGenerator(seed=2009, distinct=32)
+        assert [first.body(i) for i in range(32)] == [
+            second.body(i) for i in range(32)
+        ]
+
+    def test_different_seed_differs(self):
+        a = MixGenerator(seed=1, distinct=32)
+        b = MixGenerator(seed=2, distinct=32)
+        assert [a.body(i) for i in range(32)] != [b.body(i) for i in range(32)]
+
+    def test_bodies_are_valid_deployments(self):
+        gen = MixGenerator(seed=7, distinct=16)
+        for i in range(len(gen)):
+            doc = json.loads(gen.body(i))
+            inputs, _targets, _planner = parse_deployment(doc)
+            assert inputs.services
+
+    def test_index_wraps_around(self):
+        gen = MixGenerator(seed=3, distinct=4)
+        assert gen.body(0) == gen.body(4)
+
+
+class TestRunValidation:
+    def test_needs_exactly_one_budget(self):
+        with pytest.raises(ValueError):
+            run_loadtest("127.0.0.1", 1, seed=1)
+        with pytest.raises(ValueError):
+            run_loadtest("127.0.0.1", 1, seed=1, duration_s=1.0, total_requests=10)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def server(self):
+        srv = PlannerServer(PlannerApp())
+        srv.start()
+        yield srv
+        srv.drain(deadline_s=5.0)
+        srv.close()
+
+    def test_request_budget_run(self, server):
+        result = run_loadtest(
+            server.host, server.port,
+            seed=2009, workers=2, total_requests=40, distinct=8,
+        )
+        assert result.requests == 40
+        assert result.errors == 0
+        assert result.error_rate == 0.0
+        assert result.throughput_rps > 0
+        p = result.percentiles_ms()
+        assert 0 < p["p50_ms"] <= p["p95_ms"] <= p["p99_ms"]
+
+    def test_warmup_primes_every_distinct_body(self, server):
+        run_loadtest(
+            server.host, server.port,
+            seed=11, workers=2, total_requests=8, distinct=8,
+        )
+        status = server.app.handle("GET", "/status")
+        assert json.loads(status.body)["plan_cache"]["entries"] == 8
+
+    def test_artifact_validates_and_carries_summary(self, server):
+        result = run_loadtest(
+            server.host, server.port,
+            seed=2009, workers=2, total_requests=20, distinct=8,
+        )
+        artifact = loadtest_artifact(result)
+        validate_artifact(artifact)
+        assert artifact["loadtest"]["seed"] == 2009
+        assert artifact["loadtest"]["requests"] == 20
+        assert artifact["loadtest"]["throughput_rps"] == pytest.approx(
+            result.throughput_rps, abs=0.05
+        )
+        (bench,) = artifact["benchmarks"]
+        assert bench["name"] == "service::plan"
+        assert bench["group"] == "service"
+        assert len(bench["wall_s"]["repeats"]) == 20
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        result = LoadTestResult(
+            url="http://127.0.0.1:9", seed=5, workers=2, distinct=4,
+            duration_s=2.0, requests=10, errors=1,
+            latencies_s=[0.001 * (i + 1) for i in range(10)],
+        )
+        summary = result.summary()
+        assert summary["error_rate"] == pytest.approx(0.1)
+        assert summary["throughput_rps"] == pytest.approx(5.0)
+        assert summary["p50_ms"] == pytest.approx(5.0)
+        assert summary["p99_ms"] == pytest.approx(10.0)

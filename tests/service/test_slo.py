@@ -1,0 +1,214 @@
+"""SLO tracker tests: percentile math, burn-rate accounting, state machine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import SLOTracker, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 99.0))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 100.0) == 7.0
+
+    def test_nearest_rank_textbook(self):
+        values = sorted([15.0, 20.0, 35.0, 40.0, 50.0])
+        assert percentile(values, 30.0) == 20.0
+        assert percentile(values, 40.0) == 20.0
+        assert percentile(values, 50.0) == 35.0
+        assert percentile(values, 100.0) == 50.0
+
+    @given(
+        st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200),
+        st.floats(0.0, 100.0),
+    )
+    def test_result_is_an_observed_value_within_bounds(self, values, q):
+        values.sort()
+        result = percentile(values, q)
+        assert result in values
+        assert values[0] <= result <= values[-1]
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+    def test_monotone_in_q(self, values):
+        values.sort()
+        results = [percentile(values, q) for q in (0, 25, 50, 75, 90, 99, 100)]
+        assert results == sorted(results)
+
+
+class TestBurnRate:
+    def test_no_errors_no_burn(self):
+        slo = SLOTracker()
+        for i in range(100):
+            slo.record(True, 0.001, float(i) * 0.01)
+        assert slo.burn_rate == 0.0
+        assert not slo.burning
+        assert slo.ready
+
+    def test_all_errors_burn_is_inverse_budget(self):
+        slo = SLOTracker(availability_target=0.999, window=50)
+        for i in range(50):
+            slo.record(False, 0.001, float(i) * 0.01)
+        # error fraction 1.0 over a 0.001 budget → burn rate 1000.
+        assert slo.burn_rate == pytest.approx(1000.0)
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=300),
+        st.floats(0.9, 0.9999),
+    )
+    @settings(max_examples=50)
+    def test_burn_matches_window_error_fraction(self, outcomes, target):
+        window = 64
+        slo = SLOTracker(availability_target=target, window=window)
+        for i, ok in enumerate(outcomes):
+            slo.record(ok, 0.001, float(i) * 0.01)
+        tail = outcomes[-window:]
+        fraction = sum(1 for ok in tail if not ok) / len(tail)
+        assert slo.burn_rate == pytest.approx(fraction / (1.0 - target))
+
+    def test_window_eviction_forgets_old_errors(self):
+        slo = SLOTracker(window=10)
+        for i in range(10):
+            slo.record(False, 0.001, float(i))
+        assert slo.burn_rate > 0
+        for i in range(10, 20):
+            slo.record(True, 0.001, float(i))
+        assert slo.burn_rate == 0.0
+
+
+class TestStateMachine:
+    def make(self, *, debounce=3):
+        # budget 0.1, so one error in a full 10-wide window burns at 1.0;
+        # all-errors burns at 10.0.
+        return SLOTracker(
+            availability_target=0.9,
+            window=10,
+            burn_threshold=2.0,
+            burn_clear=1.0,
+            debounce=debounce,
+        )
+
+    def test_debounce_delays_entry(self):
+        slo = self.make(debounce=3)
+        t = 0.0
+        for _ in range(2):
+            t += 1.0
+            slo.record(False, 0.001, t)
+            assert not slo.burning
+        t += 1.0
+        slo.record(False, 0.001, t)
+        assert slo.burning
+        assert not slo.ready
+
+    def test_hysteresis_holds_between_clear_and_threshold(self):
+        slo = self.make(debounce=1)
+        t = 0.0
+        for _ in range(4):
+            t += 1.0
+            slo.record(False, 0.001, t)
+        assert slo.burning
+        # Drop the burn into (clear, threshold): 2 errors in window of 10
+        # is burn 2.0... push successes until burn is between 1 and 2.
+        while slo.burn_rate >= 2.0:
+            t += 1.0
+            slo.record(True, 0.001, t)
+        assert slo.burn_rate >= 1.0
+        assert slo.burning  # hysteresis: not cleared until burn < burn_clear
+        while slo.burn_rate >= 1.0:
+            t += 1.0
+            slo.record(True, 0.001, t)
+        assert not slo.burning
+        assert slo.ready
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_never_burning_below_clear_never_ready_while_burning(self, outcomes):
+        slo = self.make(debounce=2)
+        for i, ok in enumerate(outcomes):
+            slo.record(ok, 0.001, float(i))
+            if slo.burn_rate < 1.0:
+                assert not slo.burning
+            assert slo.ready == (not slo.burning)
+
+
+class TestSnapshot:
+    def test_fields_and_attainment(self):
+        slo = SLOTracker(target_p99_ms=50.0, availability_target=0.999)
+        for i in range(98):
+            slo.record(True, 0.010, float(i))
+        # Two slow requests out of 100 put 200ms at the nearest-rank p99.
+        slo.record(True, 0.200, 98.0)
+        slo.record(True, 0.200, 99.0)
+        snap = slo.snapshot()
+        assert snap["total_requests"] == 100
+        assert snap["total_errors"] == 0
+        assert snap["availability"] == 1.0
+        assert snap["availability_met"] is True
+        assert snap["p99_ms"] == pytest.approx(200.0)
+        assert snap["p99_met"] is False
+        assert snap["p50_ms"] == pytest.approx(10.0)
+
+    def test_empty_snapshot_has_no_percentiles(self):
+        snap = SLOTracker().snapshot()
+        assert snap["p50_ms"] is None
+        assert snap["p99_ms"] is None
+        assert snap["availability"] == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_p99_ms": 0.0},
+            {"availability_target": 1.0},
+            {"availability_target": 0.0},
+            {"window": 0},
+            {"burn_threshold": 0.0},
+            {"burn_clear": 3.0, "burn_threshold": 2.0},
+            {"debounce": 0},
+        ],
+    )
+    def test_bad_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOTracker(**kwargs)
+
+    def test_out_of_order_timestamps_tolerated(self):
+        slo = SLOTracker()
+        slo.record(True, 0.001, 5.0)
+        slo.record(True, 0.001, 4.0)  # clock skew must not raise
+        assert slo.snapshot()["total_requests"] == 2
+
+
+class TestFinalize:
+    def test_open_burn_reported_at_exit(self):
+        slo = SLOTracker(
+            availability_target=0.9,
+            window=8,
+            burn_threshold=2.0,
+            burn_clear=1.0,
+            debounce=1,
+        )
+        for i in range(8):
+            slo.record(False, 0.001, float(i) + 1.0)
+        slo.evaluate_alarms()
+        events = slo.finalize(9.0)
+        assert [e.state for e in events] == ["open_at_exit"]
+        assert events[0].rule == "slo-burn-rate"
+
+    def test_healthy_tracker_has_nothing_open(self):
+        slo = SLOTracker()
+        for i in range(16):
+            slo.record(True, 0.001, float(i) + 1.0)
+        assert slo.finalize(17.0) == []

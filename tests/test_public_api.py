@@ -44,6 +44,7 @@ class TestTopLevel:
         "repro.workloads",
         "repro.analysis",
         "repro.experiments",
+        "repro.service",
     ],
 )
 class TestSubpackages:
