@@ -192,6 +192,83 @@ def _report_json(report, inputs, targets, load_model) -> dict:
     return out
 
 
+def _control_preview(inputs: ModelInputs, power_model) -> dict:
+    """One-day reactive-consolidation preview for ``--control``.
+
+    Treats each service's planned arrival rate as its daily peak with a
+    40% off-peak trough (the classic Internet diurnal swing), then runs
+    the reactive :class:`~repro.control.ConsolidationController` over the
+    deterministic day and reports what it would save against keeping the
+    peak fleet on — the planning-time view of the ext-dynamic experiment.
+    """
+    from .control import ConsolidationController, ControllerConfig, FleetState
+    from .core.dynamic import DynamicCapacityPlanner
+    from .virtualization.placement import VmDemand
+    from .workloads.traces import DiurnalProfile, TraceBundle
+
+    import numpy as np
+
+    profiles = [
+        DiurnalProfile(
+            s.name, base=0.4 * s.arrival_rate, peak=s.arrival_rate, noise=0.0
+        )
+        for s in inputs.services
+    ]
+    bundle = TraceBundle.sample(
+        profiles, days=1, samples_per_hour=2, rng=np.random.default_rng(0)
+    )
+    dyn = DynamicCapacityPlanner(
+        list(inputs.services),
+        inputs.loss_probability,
+        power_model=power_model,
+        period_length=1800.0,
+        hold_periods=1,
+    )
+    ticks = [
+        {name: float(tr[i]) for name, tr in bundle.traces.items()}
+        for i in range(bundle.hours.size)
+    ]
+    needed = [dyn.servers_needed(rates) for rates in ticks]
+    peak_needed = max(needed)
+    base_needed = min(needed)
+    vms = [
+        VmDemand(f"vm-{i}", {ResourceKind.CPU: 0.25})
+        for i in range(2 * base_needed)
+    ]
+    fleet = FleetState(
+        int(np.ceil(1.5 * peak_needed)) + 2,
+        vms,
+        initial_on=int(np.ceil(1.15 * base_needed)),
+    )
+    controller = ConsolidationController(
+        dyn, fleet, ControllerConfig(interval=0.5, pool="plan-preview")
+    )
+    for i, rates in enumerate(ticks):
+        controller.tick(float(bundle.hours[i]), rates, dyn.offered_load(rates))
+    summary = controller.summary()
+    static_hours = peak_needed * 24.0
+    out = {
+        "static_peak_servers": peak_needed,
+        "static_server_hours_per_day": round(static_hours, 1),
+        "reactive_server_hours_per_day": summary["server_hours"],
+        "saving_pct": round(
+            100.0 * (1.0 - summary["server_hours"] / static_hours), 1
+        )
+        if static_hours
+        else 0.0,
+        "boots": summary["boots"],
+        "shutdowns": summary["shutdowns"],
+        "migrations": summary["migrations"],
+    }
+    if out["saving_pct"] <= 0.0:
+        out["note"] = (
+            "safety headroom dominates at this fleet size; dynamic "
+            "control pays off at larger scale (see the ext-dynamic "
+            "experiment)"
+        )
+    return out
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-plan",
@@ -207,6 +284,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--control",
+        action="store_true",
+        help="append a one-day reactive-consolidation preview (each "
+        "service's rate as its diurnal peak, 40%% trough): projected "
+        "server-hour saving, boots, shutdowns, migrations",
     )
     parser.add_argument(
         "--metrics-out",
@@ -273,10 +357,35 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: cannot write observability output: {exc}", file=sys.stderr)
             return 1
 
+    preview = (
+        _control_preview(inputs, planner.power_model) if args.control else None
+    )
     if args.json:
-        print(json.dumps(_report_json(report, inputs, targets, args.load_model), indent=2))
+        doc_out = _report_json(report, inputs, targets, args.load_model)
+        if preview is not None:
+            doc_out["control_preview"] = preview
+        print(json.dumps(doc_out, indent=2))
     else:
         print(report.to_text())
+        if preview is not None:
+            print()
+            print("  Dynamic consolidation preview (1-day diurnal swing):")
+            print(
+                f"    static peak fleet : {preview['static_peak_servers']} "
+                f"servers ({preview['static_server_hours_per_day']} server-hours/day)"
+            )
+            print(
+                f"    reactive control  : "
+                f"{preview['reactive_server_hours_per_day']} server-hours/day "
+                f"({preview['saving_pct']}% saving)"
+            )
+            print(
+                f"    actions           : {preview['boots']} boots, "
+                f"{preview['shutdowns']} shutdowns, "
+                f"{preview['migrations']} migrations"
+            )
+            if "note" in preview:
+                print(f"    note              : {preview['note']}")
         if targets:
             multi = solve_with_targets(inputs, targets, args.load_model)
             print()

@@ -1,0 +1,85 @@
+"""Registered benchmark: reactive-controller overhead at fleet scale.
+
+``repro-bench run`` imports this module before snapshotting the
+:func:`repro.obs.bench.bench` registry, so the control loop's cost shows
+up in the BENCH artifact stream next to the sweep-engine and vectorized-
+grid numbers.  The workload is the ``ext-dynamic`` fluid phase distilled:
+one simulated week (336 half-hour ticks) of the reactive controller over
+a deterministic diurnal trace at ~1000-host scale — sizing, alarm
+evaluation, boots, and draining shutdowns included, DES and artifact
+plumbing excluded.  The acceptance bar for the experiment ("a thousand-
+host week in seconds") is exactly this loop's throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dynamic import DynamicCapacityPlanner
+from ..core.inputs import ResourceKind, ServiceSpec
+from ..core.power import ServerPowerModel
+from ..obs.bench import bench
+from ..virtualization.placement import VmDemand
+from ..workloads.traces import DiurnalProfile, FlashCrowd, TraceBundle
+from .controller import ConsolidationController, ControllerConfig
+from .fleet import FleetState
+
+__all__ = ["bench_controller_week", "run_week"]
+
+_MU = 2.0
+_SCALE = 40.0
+
+_PROFILES = (
+    DiurnalProfile(
+        "web", base=2.0 * _SCALE, peak=16.0 * _SCALE, peak_hour=14.0,
+        noise=0.05, flash=FlashCrowd(hour=20.0, magnitude=2.2, duration=2.0),
+    ),
+    DiurnalProfile("api", base=1.5 * _SCALE, peak=9.0 * _SCALE, peak_hour=11.0, noise=0.05),
+    DiurnalProfile("batch", base=1.0 * _SCALE, peak=5.0 * _SCALE, peak_hour=18.0, noise=0.05),
+)
+
+
+def run_week(seed: int = 2009) -> dict[str, int]:
+    """Drive one controller through a sampled week; returns the ledger."""
+    rng = np.random.default_rng(seed)
+    bundle = TraceBundle.sample(
+        list(_PROFILES), days=7, samples_per_hour=2, rng=rng
+    )
+    services = [
+        ServiceSpec(p.name, 1.0, {ResourceKind.CPU: _MU}, {ResourceKind.CPU: 1.0})
+        for p in _PROFILES
+    ]
+    planner = DynamicCapacityPlanner(
+        services, 0.02, power_model=ServerPowerModel(),
+        period_length=1800.0, hold_periods=1,
+    )
+    vms = [
+        VmDemand(f"{p.name}-{i}", {ResourceKind.CPU: 0.25})
+        for p in _PROFILES
+        for i in range(max(1, round(p.base / _MU / 0.25)))
+    ]
+    first = {name: float(tr[0]) for name, tr in bundle.traces.items()}
+    peak_idx = int(np.argmax(bundle.combined))
+    peak = {name: float(tr[peak_idx]) for name, tr in bundle.traces.items()}
+    fleet = FleetState(
+        int(np.ceil(1.5 * planner.servers_needed(peak))) + 2,
+        vms,
+        initial_on=int(np.ceil(1.15 * planner.servers_needed(first))),
+    )
+    controller = ConsolidationController(
+        planner, fleet, ControllerConfig(interval=0.5, pool="bench")
+    )
+    for i, t in enumerate(bundle.hours):
+        rates = {name: float(tr[i]) for name, tr in bundle.traces.items()}
+        controller.tick(float(t), rates, busy=planner.offered_load(rates))
+    return {
+        "ticks": controller.ticks,
+        "boots": controller.boots,
+        "shutdowns": controller.shutdowns,
+        "migrations": controller.migrations,
+    }
+
+
+@bench(name="control_loop::week_1000_hosts", group="control-loop")
+def bench_controller_week() -> dict[str, int]:
+    return run_week()

@@ -1,0 +1,240 @@
+"""Powered-host fleet state: VM inventory, boots, and draining shutdowns.
+
+The fleet is a fixed universe of ``max_hosts`` identical machines, each a
+bin of one normalized unit per resource (the same convention as
+:mod:`repro.virtualization.placement`).  VMs carry static *reservations*
+(their guaranteed capability slice); burst capability above the
+reservations is pooled, which is exactly the paper's consolidation
+argument — so the packing floor sits well below the Erlang-sized fleet
+and powering hosts down is usually migration-free.
+
+Scaling down follows the **minimum-migration heuristic** from the
+dynamic-consolidation literature: victims are the powered hosts hosting
+the fewest VMs (empty hosts first — they shut down for free), their VMs
+are re-placed onto the surviving hosts with
+:func:`~repro.virtualization.placement.best_fit_decreasing`, and the move
+set is the :func:`~repro.virtualization.placement.migration_plan` cost.
+A host whose VMs cannot be re-placed is simply kept on — capacity safety
+is never traded for a shutdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..virtualization.placement import (
+    Migration,
+    PlacementPlan,
+    VmDemand,
+    _fits,
+    _place,
+    _sorted_vms,
+    best_fit_decreasing,
+    migration_plan,
+)
+
+__all__ = ["FleetState", "ScaleDecision"]
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """Outcome of one fleet scaling step."""
+
+    direction: str  # "up" | "down"
+    requested: int
+    completed: int
+    hosts: tuple[int, ...]
+    migrations: tuple[Migration, ...] = ()
+
+    @property
+    def migrations_per_source(self) -> dict[int, int]:
+        """Outbound migration counts keyed by source host (drain windows)."""
+        counts: dict[int, int] = {}
+        for move in self.migrations:
+            counts[move.source] = counts.get(move.source, 0) + 1
+        return counts
+
+
+class FleetState:
+    """Mutable placement + power state over a fixed host universe.
+
+    Parameters
+    ----------
+    max_hosts:
+        Size of the host universe (upper bound on boots).
+    vms:
+        Static VM reservations to keep placed at all times.
+    initial_on:
+        Hosts powered at construction (indices ``0..initial_on-1``).
+    placement:
+        ``"spread"`` distributes VMs worst-fit-decreasing across all
+        initially-powered hosts (realistic: load-balanced deployment, so
+        the first shrink must actually migrate); ``"packed"`` starts from
+        the tightest BFD packing (shrinks are free until the floor).
+    """
+
+    def __init__(
+        self,
+        max_hosts: int,
+        vms: list[VmDemand],
+        initial_on: int,
+        placement: str = "spread",
+    ) -> None:
+        if max_hosts < 1:
+            raise ValueError(f"max_hosts must be >= 1, got {max_hosts}")
+        if not 1 <= initial_on <= max_hosts:
+            raise ValueError(
+                f"initial_on must lie in [1, {max_hosts}], got {initial_on}"
+            )
+        if placement not in ("spread", "packed"):
+            raise ValueError(f"unknown placement strategy {placement!r}")
+        self.max_hosts = max_hosts
+        self.vms = tuple(vms)
+        self._by_name = {vm.name: vm for vm in self.vms}
+        self.powered = [i < initial_on for i in range(max_hosts)]
+        base = PlacementPlan(assignments={}, host_loads=[{} for _ in range(max_hosts)])
+        allowed = list(range(initial_on))
+        if placement == "packed" or not vms:
+            self.plan = (
+                best_fit_decreasing(list(vms), into=base, allowed_hosts=allowed)
+                if vms
+                else base
+            )
+        else:
+            self.plan = self._spread(base, list(vms), allowed)
+        # Tightest from-scratch packing: the hard floor below which the
+        # fleet cannot shrink no matter how many migrations it spends.
+        self.packing_floor = (
+            best_fit_decreasing(list(vms)).hosts_used if vms else 0
+        )
+
+    @staticmethod
+    def _spread(
+        plan: PlacementPlan, vms: list[VmDemand], allowed: list[int]
+    ) -> PlacementPlan:
+        """Worst-fit decreasing: each VM onto the emptiest allowed host."""
+        for vm in _sorted_vms(vms):
+            best_host = -1
+            best_room = -1.0
+            for host in allowed:
+                load = plan.host_loads[host]
+                if not _fits(load, vm):
+                    continue
+                room = sum(1.0 - load.get(kind, 0.0) for kind in vm.demands)
+                if room > best_room:
+                    best_room = room
+                    best_host = host
+            if best_host < 0:
+                raise ValueError(
+                    f"no powered host has room for VM {vm.name!r}; "
+                    f"raise initial_on above {len(allowed)}"
+                )
+            _place(plan, best_host, vm)
+        plan.validate()
+        return plan
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def powered_count(self) -> int:
+        return sum(self.powered)
+
+    def powered_hosts(self) -> list[int]:
+        return [i for i, on in enumerate(self.powered) if on]
+
+    def vms_on(self, host: int) -> list[VmDemand]:
+        return [
+            self._by_name[name]
+            for name, h in self.plan.assignments.items()
+            if h == host
+        ]
+
+    # -- scaling --------------------------------------------------------------
+
+    def scale_up(self, count: int) -> ScaleDecision:
+        """Boot ``count`` off hosts (lowest index first); no migrations.
+
+        Booted hosts join the pool empty — under the paper's pooled-
+        capability model new requests flow to them immediately, no VM
+        needs to move.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        booted: list[int] = []
+        for host in range(self.max_hosts):
+            if len(booted) == count:
+                break
+            if not self.powered[host]:
+                self.powered[host] = True
+                booted.append(host)
+        return ScaleDecision(
+            direction="up",
+            requested=count,
+            completed=len(booted),
+            hosts=tuple(booted),
+        )
+
+    def scale_down(self, count: int) -> ScaleDecision:
+        """Power down up to ``count`` hosts, min-migration victims first.
+
+        Victim order: fewest VMs, then lightest dominant load, then the
+        highest index (later-booted machines retire first) — all fully
+        deterministic.  Each victim's VMs are re-placed (BFD) onto the
+        surviving powered hosts *before* the victim is marked off, so
+        destination capacity is reserved while the migration is in flight
+        and no intermediate state overcommits a host.  Victims whose VMs
+        do not fit anywhere stay powered; ``completed`` reports the real
+        shutdown count.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        requested = count
+        count = min(count, self.powered_count - 1)  # never darken the fleet
+        if count <= 0:
+            return ScaleDecision(
+                direction="down", requested=requested, completed=0, hosts=()
+            )
+        occupancy: dict[int, list[VmDemand]] = {h: [] for h in self.powered_hosts()}
+        for name, host in self.plan.assignments.items():
+            occupancy[host].append(self._by_name[name])
+        candidates = sorted(
+            occupancy,
+            key=lambda h: (
+                len(occupancy[h]),
+                max((d for vm in occupancy[h] for d in vm.demands.values()), default=0.0),
+                -h,
+            ),
+        )
+        victims: list[int] = []
+        moves: list[Migration] = []
+        for host in candidates:
+            if len(victims) == count:
+                break
+            evicted = self.vms_on(host)  # re-read: earlier drains may have landed here
+            if not evicted:
+                self.powered[host] = False
+                victims.append(host)
+                continue
+            survivors = [
+                h for h in self.powered_hosts() if h != host and h not in victims
+            ]
+            trial = self.plan.copy()
+            for vm in evicted:
+                trial.remove(vm)
+            try:
+                packed = best_fit_decreasing(
+                    evicted, into=trial, allowed_hosts=survivors
+                )
+            except ValueError:
+                continue  # undrainable host: keep it on, try the next candidate
+            moves.extend(migration_plan(self.plan, packed))
+            self.plan = packed
+            self.powered[host] = False
+            victims.append(host)
+        return ScaleDecision(
+            direction="down",
+            requested=requested,
+            completed=len(victims),
+            hosts=tuple(victims),
+            migrations=tuple(moves),
+        )

@@ -1,0 +1,224 @@
+"""Three-way consolidation comparison: static vs. oracle vs. reactive.
+
+The experiment family ``ext-dynamic`` asks one question over a simulated
+day/week of diurnal traffic: what does *reactivity* cost relative to the
+paper's static Erlang plan on one side and perfect per-period knowledge on
+the other?
+
+- **static** — the paper's before-deployment answer: size once for the
+  horizon's peak QoS-critical requirement and keep that fleet on.
+- **oracle** — :meth:`DynamicCapacityPlanner.plan
+  <repro.core.dynamic.DynamicCapacityPlanner.plan>` re-planning each
+  period on the *clean* rates (hindsight scheduling: it sees every
+  period's demand exactly, pays boot energy and hysteresis but no
+  detection lag and no headroom).
+- **reactive** — the :class:`~repro.control.controller
+  .ConsolidationController` fed the same trace tick by tick, paying
+  alarm debounce lag, safety headroom and live-migration costs.
+
+All three run in **fluid mode**: per-tick offered loads drive batched
+Erlang-B evaluations through the vectorized core, so a thousand-host week
+(336 half-hour ticks) costs well under a second of wall clock — the scale
+the ROADMAP's data-center item demands.  Loss probabilities are
+arrival-weighted across ticks; the peak-window loss isolates the busiest
+``peak_window_h`` hours, where the quasi-stationary Erlang-B fidelity
+argument applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.dynamic import DynamicCapacityPlanner
+from ..obs.alarms import AlarmEvent
+from ..queueing import vectorized
+from ..workloads.traces import TraceBundle
+from .controller import ConsolidationController, ControlDecision, ControllerConfig
+from .fleet import FleetState
+
+__all__ = ["StrategyOutcome", "ComparisonResult", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """One strategy's horizon totals (the comparison's tabular row)."""
+
+    strategy: str
+    servers_on: tuple[int, ...]
+    server_hours: float
+    energy_kwh: float
+    boots: int
+    shutdowns: int
+    migrations: int
+    mean_loss: float
+    peak_window_loss: float
+
+    def row(self) -> dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "server_hours": round(self.server_hours, 1),
+            "energy_kwh": round(self.energy_kwh, 1),
+            "boots": self.boots,
+            "shutdowns": self.shutdowns,
+            "migrations": self.migrations,
+            "mean_loss": round(self.mean_loss, 4),
+            "peak_window_loss": round(self.peak_window_loss, 4),
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """The three outcomes plus the shared per-tick context."""
+
+    outcomes: Mapping[str, StrategyOutcome]
+    needed: tuple[int, ...]
+    offered: tuple[float, ...]
+    interval: float
+    peak_window: tuple[float, float]
+    controller_summary: Mapping[str, Any]
+    decisions: tuple[ControlDecision, ...]
+    events: tuple[AlarmEvent, ...]
+
+    @property
+    def reactive_between(self) -> bool:
+        """The headline ordering: oracle < reactive < static server-hours."""
+        oracle = self.outcomes["oracle"].server_hours
+        reactive = self.outcomes["reactive"].server_hours
+        static = self.outcomes["static"].server_hours
+        return oracle < reactive < static
+
+
+def _weighted_loss(
+    servers: np.ndarray, offered: np.ndarray, weights: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Arrival-weighted Erlang-B loss across ticks (batched evaluation)."""
+    if mask is not None:
+        servers, offered, weights = servers[mask], offered[mask], weights[mask]
+    total = float(weights.sum())
+    if total <= 0.0:
+        return 0.0
+    losses = vectorized.erlang_b(np.maximum(servers, 1), offered)
+    return float((weights * losses).sum() / total)
+
+
+def run_comparison(
+    planner: DynamicCapacityPlanner,
+    bundle: TraceBundle,
+    fleet: FleetState,
+    config: ControllerConfig | None = None,
+    peak_window_h: float = 3.0,
+) -> ComparisonResult:
+    """Run all three strategies over one sampled trace bundle.
+
+    ``planner.period_length`` must be the tick length in seconds and
+    ``config.interval`` the tick length in the trace's time unit (hours);
+    the bundle's sampling grid defines both.  The fleet is consumed by the
+    reactive controller (its placement mutates); build a fresh one per
+    call.
+    """
+    hours = bundle.hours
+    if hours.size < 2:
+        raise ValueError("trace bundle needs at least two samples")
+    interval = float(hours[1] - hours[0])
+    config = config or ControllerConfig(interval=interval)
+    if abs(config.interval - interval) > 1e-9:
+        raise ValueError(
+            f"controller interval {config.interval} does not match the "
+            f"trace sampling step {interval}"
+        )
+    if abs(planner.period_length - interval * 3600.0) > 1e-6:
+        raise ValueError(
+            f"planner period_length {planner.period_length}s does not match "
+            f"the {interval}h tick"
+        )
+    names = list(bundle.traces)
+    ticks: list[dict[str, float]] = [
+        {name: float(bundle.traces[name][i]) for name in names}
+        for i in range(hours.size)
+    ]
+    needed = np.array([planner.servers_needed(r) for r in ticks], dtype=int)
+    offered = np.array([planner.offered_load(r) for r in ticks], dtype=float)
+    weights = bundle.combined.astype(float)
+    period_s = planner.period_length
+
+    # Busiest peak_window_h-hour window of the combined trace (the
+    # quasi-stationary Erlang fidelity window).
+    win = max(int(round(peak_window_h / interval)), 1)
+    rolling = np.convolve(weights, np.ones(win) / win, mode="valid")
+    peak_idx = int(np.argmax(rolling))
+    peak_start = float(hours[peak_idx])
+    peak_end = peak_start + peak_window_h
+    peak_mask = (hours >= peak_start) & (hours < peak_end)
+
+    def energy_kwh(on: np.ndarray) -> float:
+        util = np.minimum(offered / on, 1.0)
+        draw = planner.power_model.base_watts + (
+            planner.power_model.max_watts - planner.power_model.base_watts
+        ) * util
+        return float((on * draw).sum() * period_s / 3.6e6)
+
+    # -- static: the paper's peak plan, on all horizon --------------------------
+    static_n = int(needed.max())
+    static_on = np.full(hours.size, static_n, dtype=int)
+    static = StrategyOutcome(
+        strategy="static",
+        servers_on=tuple(static_on.tolist()),
+        server_hours=float(static_on.sum()) * interval,
+        energy_kwh=energy_kwh(static_on),
+        boots=0,
+        shutdowns=0,
+        migrations=0,
+        mean_loss=_weighted_loss(static_on, offered, weights),
+        peak_window_loss=_weighted_loss(static_on, offered, weights, peak_mask),
+    )
+
+    # -- oracle: hindsight per-period re-planning -------------------------------
+    plan = planner.plan(ticks)
+    oracle_on = np.array([p.servers_on for p in plan.periods], dtype=int)
+    oracle = StrategyOutcome(
+        strategy="oracle",
+        servers_on=tuple(oracle_on.tolist()),
+        server_hours=float(oracle_on.sum()) * interval,
+        energy_kwh=plan.total_energy / 3.6e6,
+        boots=sum(p.booted for p in plan.periods),
+        shutdowns=sum(p.shut_down for p in plan.periods),
+        migrations=0,
+        mean_loss=_weighted_loss(oracle_on, offered, weights),
+        peak_window_loss=_weighted_loss(oracle_on, offered, weights, peak_mask),
+    )
+
+    # -- reactive: the controller, tick by tick ---------------------------------
+    controller = ConsolidationController(planner, fleet, config)
+    reactive_series: list[int] = []
+    for i, rates in enumerate(ticks):
+        decision = controller.observe(float(hours[i]), rates, busy=float(offered[i]))
+        reactive_series.append(decision.servers_after)
+    controller.finalize(float(hours[-1]) + interval)
+    reactive_on = np.array(reactive_series, dtype=int)
+    summary = controller.summary()
+    reactive = StrategyOutcome(
+        strategy="reactive",
+        servers_on=tuple(reactive_on.tolist()),
+        server_hours=summary["server_hours"],
+        energy_kwh=summary["energy_kwh"],
+        boots=summary["boots"],
+        shutdowns=summary["shutdowns"],
+        migrations=summary["migrations"],
+        mean_loss=_weighted_loss(reactive_on, offered, weights),
+        peak_window_loss=_weighted_loss(reactive_on, offered, weights, peak_mask),
+    )
+
+    return ComparisonResult(
+        outcomes={"static": static, "oracle": oracle, "reactive": reactive},
+        needed=tuple(needed.tolist()),
+        offered=tuple(offered.tolist()),
+        interval=interval,
+        peak_window=(peak_start, peak_end),
+        controller_summary=summary,
+        decisions=tuple(controller.decisions),
+        events=tuple(controller.events),
+    )

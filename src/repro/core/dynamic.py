@@ -146,6 +146,19 @@ class DynamicCapacityPlanner:
         solution = UtilityAnalyticModel(inputs, load_model=self.load_model).solve()
         return max(self.min_servers, solution.consolidated_servers)
 
+    def offered_load(self, arrival_rates: Mapping[str, float]) -> float:
+        """Worst-resource consolidated offered load for one period's rates.
+
+        The quasi-stationary Erlang load the sizing in
+        :meth:`servers_needed` guards against; the control loop uses it as
+        the fluid-mode busy-server proxy.
+        """
+        inputs = self._inputs_for(arrival_rates)
+        return max(
+            inputs.consolidated_load(resource, "offered")
+            for resource in inputs.resources
+        )
+
     def _inputs_for(self, arrival_rates: Mapping[str, float]) -> ModelInputs:
         missing = {s.name for s in self.services} - set(arrival_rates)
         if missing:

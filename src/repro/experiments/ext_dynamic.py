@@ -1,0 +1,350 @@
+"""Extension experiment: dynamic consolidation control loop over a week.
+
+The ROADMAP's dynamic-consolidation item asks what *reactivity* costs: the
+paper sizes a fleet once for the busy hour, while a live controller can
+follow the diurnal valley down and power servers off.  This experiment
+runs three strategies over the same sampled week of diurnal traffic
+(three staggered services, one evening flash crowd) and compares servers-
+on hours, energy, migrations, and loss:
+
+- **static** — the paper's answer: the peak QoS-critical fleet, always on;
+- **oracle** — :meth:`DynamicCapacityPlanner.plan` with hindsight (exact
+  per-period rates, hysteresis + boot energy, no detection lag);
+- **reactive** — the :class:`~repro.control.controller
+  .ConsolidationController`: pressure alarms, safety headroom, draining
+  shutdowns with an explicit live-migration cost model.
+
+The comparison runs in **fluid mode** at data-center scale (~a thousand
+hosts): per-tick offered loads drive the batched Erlang-B core, so the
+full week costs seconds, not hours.  A second, small-pool phase replays
+the same controller inside the discrete-event simulator
+(:meth:`LossNetwork.run(control=...) <repro.simulation.loss_network
+.LossNetwork.run>`) to cross-check the fluid shortcut: measured loss in
+the busiest window should track the Erlang-B prediction at the window's
+mean pool size and offered load — the paper's quasi-stationary argument,
+now under a capacity schedule the controller itself chose.
+
+Controller decisions ride out three ways: ``control.*`` telemetry series
+and alarm events in the ``"timeseries"`` artifact, ``kind="control"``
+trace events when observability is on, and decision documents in the
+``"control"`` artifact — all inside the picklable result, which is what
+keeps ``--jobs`` runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis.report import format_kv, format_table
+from ..control import ControllerConfig, ConsolidationController, FleetState, run_comparison
+from ..core.dynamic import DynamicCapacityPlanner
+from ..core.inputs import ResourceKind
+from ..core.power import ServerPowerModel
+from ..obs import fidelity
+from ..obs.timeseries import TelemetryBus, scoped_bus
+from ..queueing.erlang import erlang_b
+from ..simulation.loss_network import LossNetwork, ServiceTraffic
+from ..virtualization.placement import VmDemand
+from ..workloads.traces import DiurnalProfile, FlashCrowd, TraceBundle
+from .base import ExperimentResult, register
+from ..core.inputs import ServiceSpec
+
+__all__ = ["run"]
+
+_MU = 2.0  # service rate per server (mean holding 0.5 h)
+_TARGET_B = 0.02
+_BUCKET_H = 0.5
+_SAMPLES_PER_HOUR = 2
+_PEAK_WINDOW_H = 3.0
+_SCALE = 40.0  # fluid-phase rate multiplier: pushes the fleet to ~1000 hosts
+_VM_SLICE = 0.25  # per-VM CPU reservation (burst capability stays pooled)
+
+_PROFILES = (
+    DiurnalProfile(
+        "web", base=2.0, peak=16.0, peak_hour=14.0, noise=0.05,
+        flash=FlashCrowd(hour=20.0, magnitude=2.2, duration=2.0),
+    ),
+    DiurnalProfile("api", base=1.5, peak=9.0, peak_hour=11.0, noise=0.05),
+    DiurnalProfile("batch", base=1.0, peak=5.0, peak_hour=18.0, noise=0.05),
+)
+
+
+def _scaled(profile: DiurnalProfile, scale: float) -> DiurnalProfile:
+    return DiurnalProfile(
+        profile.name, base=profile.base * scale, peak=profile.peak * scale,
+        peak_hour=profile.peak_hour, noise=profile.noise, flash=profile.flash,
+    )
+
+
+def _services() -> list[ServiceSpec]:
+    return [
+        ServiceSpec(p.name, 1.0, {ResourceKind.CPU: _MU}, {ResourceKind.CPU: 1.0})
+        for p in _PROFILES
+    ]
+
+
+def _vm_inventory(scale: float) -> list[VmDemand]:
+    """Per-service VM reservations covering the off-peak (base) load."""
+    vms: list[VmDemand] = []
+    for profile in _PROFILES:
+        count = max(1, round(profile.base * scale / _MU / _VM_SLICE))
+        vms.extend(
+            VmDemand(f"{profile.name}-{i}", {ResourceKind.CPU: _VM_SLICE})
+            for i in range(count)
+        )
+    return vms
+
+
+def _build_fleet(
+    planner: DynamicCapacityPlanner, bundle: TraceBundle, scale: float
+) -> FleetState:
+    """Host universe sized from the trace: 15% headroom at t=0, 50% at peak."""
+    first = {name: float(tr[0]) for name, tr in bundle.traces.items()}
+    peak_idx = int(np.argmax(bundle.combined))
+    peak = {name: float(tr[peak_idx]) for name, tr in bundle.traces.items()}
+    initial_on = math.ceil(1.15 * planner.servers_needed(first))
+    max_hosts = math.ceil(1.5 * planner.servers_needed(peak)) + 2
+    return FleetState(max_hosts, _vm_inventory(scale), initial_on=initial_on)
+
+
+def _window_counts(bus: TelemetryBus, name: str, t_lo: float, t_hi: float) -> float:
+    """Sum a counter family's events with bucket start in ``[t_lo, t_hi)``."""
+    total = 0.0
+    for series in bus.series():
+        if series.name != name:
+            continue
+        width = series.bucket_width
+        for idx, value in enumerate(series.values()):
+            if t_lo <= idx * width < t_hi:
+                total += value
+    return total
+
+
+def _gauge_values(bus: TelemetryBus, name: str, pool: str) -> list[float]:
+    """Per-bucket values of one labelled gauge (empty if never recorded)."""
+    for series in bus.series():
+        if series.name == name and ("pool", pool) in tuple(series.labels):
+            return list(series.values())
+    return []
+
+
+def _scheduled_loss(
+    on_values: list[float],
+    bundle: TraceBundle,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Arrival-weighted Erlang-B loss under the controller's capacity
+    schedule — the fluid prediction the DES measurement is checked against.
+
+    ``on_values[i]`` is the pool size the controller held during tick
+    ``i`` (the ``control.servers_on`` gauge bucket); the capacity varies
+    inside any window, so the prediction must be per-tick — Erlang B at
+    the window-*mean* capacity underestimates badly (Jensen).
+    """
+    combined = bundle.combined
+    num = den = 0.0
+    for i in range(combined.size):
+        if mask is not None and not mask[i]:
+            continue
+        on = on_values[i] if i < len(on_values) else on_values[-1]
+        servers = max(int(round(on)), 1)
+        rho = float(combined[i]) / _MU
+        weight = float(combined[i])
+        num += weight * erlang_b(servers, rho)
+        den += weight
+    return num / den if den > 0.0 else 0.0
+
+
+@register("ext-dynamic")
+def run(seed: int = 2009, fast: bool = True) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+
+    bus = TelemetryBus(bucket_width=_BUCKET_H, max_buckets=512)
+
+    # -- phase 1: fluid three-way comparison at data-center scale ------------
+    week = TraceBundle.sample(
+        [_scaled(p, _SCALE) for p in _PROFILES],
+        days=7, samples_per_hour=_SAMPLES_PER_HOUR, rng=rng,
+    )
+    planner = DynamicCapacityPlanner(
+        _services(), _TARGET_B,
+        power_model=ServerPowerModel(),
+        period_length=_BUCKET_H * 3600.0,
+        hold_periods=1,
+    )
+    fleet = _build_fleet(planner, week, _SCALE)
+    with scoped_bus(bus):
+        comparison = run_comparison(
+            planner, week, fleet,
+            config=ControllerConfig(interval=_BUCKET_H, pool="dc"),
+            peak_window_h=_PEAK_WINDOW_H,
+        )
+    static = comparison.outcomes["static"]
+    oracle = comparison.outcomes["oracle"]
+    reactive = comparison.outcomes["reactive"]
+    ctl_summary = comparison.controller_summary
+
+    # -- phase 2: DES cross-check on a small pool ----------------------------
+    des_days = 2 if fast else 7
+    des_horizon = des_days * 24.0
+    des_bundle = TraceBundle.sample(
+        list(_PROFILES), days=des_days, samples_per_hour=_SAMPLES_PER_HOUR,
+        rng=rng,
+    )
+    rate_schedule = {
+        name: list(zip(des_bundle.hours.tolist(), trace.tolist()))
+        for name, trace in des_bundle.traces.items()
+    }
+    des_planner = DynamicCapacityPlanner(
+        _services(), _TARGET_B,
+        power_model=ServerPowerModel(),
+        period_length=_BUCKET_H * 3600.0,
+        hold_periods=1,
+    )
+    des_fleet = _build_fleet(des_planner, des_bundle, 1.0)
+    des_initial = des_fleet.powered_count
+    with scoped_bus(bus):
+        des_controller = ConsolidationController(
+            des_planner, des_fleet,
+            ControllerConfig(interval=_BUCKET_H, pool="des"),
+        )
+        traffics = [
+            ServiceTraffic.exponential(p.name, 0.0, {ResourceKind.CPU: _MU})
+            for p in _PROFILES
+        ]
+        network = LossNetwork(
+            des_fleet.powered_count, traffics, pool="dynamic",
+            power_model=ServerPowerModel(),
+        )
+        des_result = network.run(
+            des_horizon, rng, rate_schedule=rate_schedule, control=des_controller
+        )
+        des_events = des_controller.finalize(des_horizon)
+
+    # Quasi-stationary fidelity: inside the busiest window the measured loss
+    # should track Erlang B at the window's mean pool size + offered load.
+    combined = des_bundle.combined
+    win = int(_PEAK_WINDOW_H * _SAMPLES_PER_HOUR)
+    rolling = np.convolve(combined, np.ones(win) / win, mode="valid")
+    peak_start = float(des_bundle.hours[int(np.argmax(rolling))])
+    peak_end = peak_start + _PEAK_WINDOW_H
+    peak_mask = (des_bundle.hours >= peak_start) & (des_bundle.hours < peak_end)
+    on_values = _gauge_values(bus, "control.servers_on", "des")
+    erlang_peak = _scheduled_loss(on_values, des_bundle, peak_mask)
+    fluid_loss = _scheduled_loss(on_values, des_bundle)
+    win_arrivals = _window_counts(bus, "pool.arrivals", peak_start, peak_end)
+    win_losses = _window_counts(bus, "pool.losses", peak_start, peak_end)
+    peak_loss = win_losses / win_arrivals if win_arrivals else 0.0
+
+    rows = [static.row(), oracle.row(), reactive.row()]
+    des_summary = des_controller.summary()
+    summary = {
+        "fleet_hosts": fleet.max_hosts,
+        "static_servers": static.servers_on[0],
+        "packing_floor": fleet.packing_floor,
+        "static_server_hours": round(static.server_hours, 1),
+        "oracle_server_hours": round(oracle.server_hours, 1),
+        "reactive_server_hours": round(reactive.server_hours, 1),
+        "reactive_between": bool(comparison.reactive_between),
+        "saving_vs_static_pct": round(
+            100.0 * (1.0 - reactive.server_hours / static.server_hours), 1
+        ),
+        "regret_vs_oracle_pct": round(
+            100.0 * (reactive.server_hours / oracle.server_hours - 1.0), 1
+        ),
+        "reactive_boots": reactive.boots,
+        "reactive_shutdowns": reactive.shutdowns,
+        "reactive_migrations": reactive.migrations,
+        "migration_energy_kwh": ctl_summary["migration_energy_kwh"],
+        "overload_fires": ctl_summary["overload_fires"],
+        "underload_fires": ctl_summary["underload_fires"],
+        "alarm_clears": ctl_summary["alarm_clears"],
+        "des_days": des_days,
+        "des_initial_servers": des_initial,
+        "des_boots": des_summary["boots"],
+        "des_shutdowns": des_summary["shutdowns"],
+        "des_migrations": des_summary["migrations"],
+        "des_overall_loss": round(des_result.overall_loss, 4),
+        "fluid_loss_prediction": round(fluid_loss, 4),
+        "des_loss_vs_fluid": round(des_result.overall_loss / fluid_loss, 3)
+        if fluid_loss > 0.0
+        else 0.0,
+        "des_peak_window_loss": round(peak_loss, 4),
+        "erlang_peak_prediction": round(erlang_peak, 4),
+        "peak_loss_vs_erlang": round(peak_loss / erlang_peak, 3)
+        if erlang_peak > 0.0
+        else 0.0,
+        "telemetry_series": len(bus),
+        "note": "fluid week at ~1000-host scale; DES replay cross-checks "
+        "the controller against Erlang B in the busy window",
+    }
+    text = (
+        format_table(
+            rows,
+            title="Extension — static vs. oracle vs. reactive consolidation "
+            "(fluid week)",
+        )
+        + "\n\n"
+        + format_kv(summary, title="Dynamic consolidation control loop")
+    )
+    control_docs = (
+        [{"phase": "fluid", **d.to_doc()} for d in comparison.decisions]
+        + [{"phase": "des", **d.to_doc()} for d in des_controller.decisions]
+        + [{"phase": "summary", "strategies": rows}]
+    )
+    return ExperimentResult(
+        experiment="ext-dynamic",
+        title="Dynamic consolidation: static plan vs. oracle vs. reactive "
+        "controller",
+        rows=tuple(rows),
+        summary=summary,
+        text=text,
+        artifacts={
+            "timeseries": bus.to_docs()
+            + [e.to_doc() for e in comparison.events]
+            + [e.to_doc() for e in des_events],
+            "control": control_docs,
+        },
+    )
+
+
+# Paper-fidelity expectations: the reactive controller pays for detection
+# lag and headroom (worse than hindsight) but follows the valley down
+# (better than the static peak plan); and the DES busy window still obeys
+# the quasi-stationary Erlang-B argument under controller-chosen capacity.
+fidelity.declare_expectations(
+    "ext-dynamic",
+    fidelity.Expectation(
+        "reactive_between",
+        True,
+        op="bool",
+        source="Extension: reactive consolidation lands between the static "
+        "peak plan and the hindsight oracle on servers-on hours",
+    ),
+    fidelity.Expectation(
+        "des_loss_vs_fluid",
+        1.0,
+        op="approx",
+        abs_tol=0.75,
+        drift_factor=2.0,
+        source="Extension: DES loss under the reactive controller tracks "
+        "the per-tick Erlang-B prediction at the controller's own "
+        "capacity schedule (quasi-stationary fluid limit)",
+        note="ratio of measured DES overall loss to the schedule-aware "
+        "fluid prediction",
+    ),
+    fidelity.Expectation(
+        "peak_loss_vs_erlang",
+        1.0,
+        op="approx",
+        abs_tol=3.0,
+        drift_factor=2.0,
+        source="Extension: busiest-window loss under live control tracks "
+        "per-tick Erlang B at the scheduled capacity",
+        note="~100 arrivals land in the 3 h window, so the ratio is wide-"
+        "tolerance by construction; the whole-horizon des_loss_vs_fluid "
+        "metric is the tight check",
+    ),
+)

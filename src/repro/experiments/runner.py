@@ -69,6 +69,7 @@ from ..parallel import ParallelSweep, SweepStats, record_cache_metrics, shared_c
 # Importing the experiment modules populates the registry.
 from . import (  # noqa: F401  (imported for registration side effects)
     applications,
+    ext_dynamic,
     ext_multiservice,
     ext_scale,
     ext_telemetry,
@@ -235,6 +236,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(rule, state, virtual time, value) after the experiment output",
     )
     parser.add_argument(
+        "--control",
+        action="store_true",
+        help="print each consolidation-controller decision recorded by the "
+        "run (phase, action, virtual time, pressure, fleet sizes) after "
+        "the experiment output",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print heartbeat progress lines (ETA, trace deltas, stall "
@@ -340,6 +348,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"  alarm {doc['rule']} {doc['state']} t={doc['t']:g} "
                     f"value={doc['value']:g} threshold={doc['threshold']:g}"
                 )
+        if args.control:
+            for doc in result.artifacts.get("control", ()):
+                if "kind" not in doc:
+                    continue
+                print(
+                    f"  control [{doc.get('phase', '?')}] {doc['kind']} "
+                    f"t={doc['t']:g} pressure={doc['pressure']:g} "
+                    f"servers={doc['servers_before']}->{doc['servers_after']} "
+                    f"migrations={doc['migrations']}"
+                )
         if args.output:
             csv_path, json_path = result.export(args.output)
             print(f"\n  exported: {csv_path}  {json_path}")
@@ -403,9 +421,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     # worker-process global state — which is what keeps --timeseries-out
     # bit-identical across --jobs values.  Name order matches stdout.
     telemetry_docs: list = []
+    control_docs: list = []
     for name in sorted(results_by_name):
         artifacts = getattr(results_by_name[name], "artifacts", None) or {}
         telemetry_docs.extend(artifacts.get("timeseries", ()))
+        control_docs.extend(
+            d for d in artifacts.get("control", ()) if "kind" in d
+        )
 
     # Grade the run against the paper-expected values declared next to
     # each experiment, and show the scoreboard with the results.
@@ -483,6 +505,20 @@ def main(argv: Sequence[str] | None = None) -> int:
                                 and d.get("state") == "open_at_exit"
                             ],
                             "alarms_printed": bool(args.alarms),
+                        },
+                        # Controller decisions, like jobs/audit, live
+                        # outside `inputs`: the decisions are part of the
+                        # results, not the run's identity.
+                        "control": {
+                            "decisions": len(control_docs),
+                            "boots": sum(d.get("booted", 0) for d in control_docs),
+                            "shutdowns": sum(
+                                d.get("shut_down", 0) for d in control_docs
+                            ),
+                            "migrations": sum(
+                                d.get("migrations", 0) for d in control_docs
+                            ),
+                            "decisions_printed": bool(args.control),
                         },
                     },
                 )

@@ -66,7 +66,8 @@ def _collect(args) -> list:
     # In-process `@bench` registrations live next to the code they measure;
     # import the registration modules before snapshotting the registry
     # (discover_suite imports happen too late for that snapshot).
-    from ..parallel import benchreg  # noqa: F401
+    from ..control import benchreg  # noqa: F401
+    from ..parallel import benchreg as _parallel_benchreg  # noqa: F401
 
     specs = registered_benchmarks() + discover_suite(args.bench_dir)
     return select_specs(specs, args.select)

@@ -283,6 +283,7 @@ class LossNetwork:
         rng: np.random.Generator,
         capacity_schedule: Sequence[tuple[float, int]] = (),
         rate_schedule: Mapping[str, Sequence[tuple[float, float]]] | None = None,
+        control=None,
     ) -> LossNetworkResult:
         """Simulate ``[0, horizon]`` of virtual time.
 
@@ -301,6 +302,18 @@ class LossNetwork:
         constant schedule reproduces the homogeneous distribution.
         Services without an entry keep their homogeneous
         ``arrival_rate`` stream on the byte-identical legacy RNG path.
+
+        ``control`` attaches a consolidation controller to the pool (duck
+        typed: ``.interval`` in virtual-time units and ``.tick(t, rates,
+        busy) -> servers``, the contract of
+        :class:`repro.control.controller.ConsolidationController`).  Every
+        ``interval`` the run measures each service's arrival rate and the
+        bottleneck resource's mean busy level over the elapsed window,
+        hands them to the controller, and applies the returned pool size
+        through the same graceful-drain machinery as
+        ``capacity_schedule``.  The network's ``servers`` should equal the
+        controller's initial powered count — the controller's fleet is the
+        authority on capacity from the first tick onward.
         """
         if horizon <= 0.0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -376,9 +389,12 @@ class LossNetwork:
                         + (pm.max_watts - pm.base_watts) * min(busy, capacity),
                     )
 
+        peak_capacity = [self.servers]
+
         def set_capacity(count: int) -> None:
             for st in states.values():
                 st.capacity = count
+            peak_capacity[0] = max(peak_capacity[0], count)
             if telemetry:
                 cap_g.set(sim.now, float(count))
                 record_level()
@@ -386,6 +402,41 @@ class LossNetwork:
         for when, count in schedule:
             if when <= horizon:
                 sim.schedule_at(when, lambda c=count: set_capacity(c))
+
+        if control is not None:
+            interval = float(control.interval)
+            if interval <= 0.0:
+                raise ValueError(f"control interval must be positive, got {interval}")
+            ctl_arrived = {name: 0 for name in counters}
+            ctl_area = [0.0]
+
+            def control_tick() -> None:
+                t = sim.now
+                rates = {}
+                for name, counter in counters.items():
+                    rates[name] = (counter.arrived - ctl_arrived[name]) / interval
+                    ctl_arrived[name] = counter.arrived
+                # Window-mean busy on the bottleneck resource: difference of
+                # the cumulative busy integral (time_average over [0, t]
+                # times t) across the window.
+                area = (
+                    max(st.busy_stat.time_average(t) * t for st in states.values())
+                    if t > 0.0
+                    else 0.0
+                )
+                busy = (area - ctl_area[0]) / interval
+                ctl_area[0] = area
+                servers_on = int(control.tick(t, rates, busy))
+                if servers_on < 1:
+                    raise ValueError(
+                        f"controller returned non-positive capacity {servers_on}"
+                    )
+                if servers_on != next(iter(states.values())).capacity:
+                    set_capacity(servers_on)
+                if t + interval <= horizon:
+                    sim.schedule_in(interval, control_tick)
+
+            sim.schedule_at(interval, control_tick)
 
         def release(kind: ResourceKind) -> None:
             st = states[kind]
@@ -469,10 +520,10 @@ class LossNetwork:
             per_service_arrived={name: c.arrived for name, c in counters.items()},
             per_service_blocked={name: c.blocked for name, c in counters.items()},
             per_resource_utilization={
-                # Normalised by the largest pool size the run ever had, so
-                # utilization stays in [0, 1] under capacity schedules.
-                kind: st.busy_stat.time_average(end)
-                / max(self.servers, max((c for _, c in schedule), default=0), 1)
+                # Normalised by the largest pool size the run ever had
+                # (scheduled or controller-driven), so utilization stays in
+                # [0, 1] under capacity changes.
+                kind: st.busy_stat.time_average(end) / max(peak_capacity[0], 1)
                 for kind, st in states.items()
             },
             per_service_loss_ci={

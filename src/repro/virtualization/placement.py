@@ -93,6 +93,23 @@ class PlacementPlan:
                         f"host {i} overcommitted on {kind}: {value:.3f}"
                     )
 
+    def copy(self) -> "PlacementPlan":
+        """Independent mutable copy (assignments and per-host loads)."""
+        return PlacementPlan(
+            assignments=dict(self.assignments),
+            host_loads=[dict(load) for load in self.host_loads],
+        )
+
+    def remove(self, vm: "VmDemand") -> int:
+        """Unassign ``vm``, releasing its demand; returns the host it left."""
+        host = self.assignments.pop(vm.name)
+        load = self.host_loads[host]
+        for kind, d in vm.demands.items():
+            # Clamp accumulated float error so repeated place/remove cycles
+            # cannot drift a nominally-empty host below zero.
+            load[kind] = max(load.get(kind, 0.0) - d, 0.0)
+        return host
+
 
 def _fits(load: Mapping[ResourceKind, float], vm: VmDemand) -> bool:
     return all(
@@ -133,16 +150,40 @@ def first_fit_decreasing(vms: Sequence[VmDemand]) -> PlacementPlan:
     return plan
 
 
-def best_fit_decreasing(vms: Sequence[VmDemand]) -> PlacementPlan:
+def best_fit_decreasing(
+    vms: Sequence[VmDemand],
+    *,
+    into: PlacementPlan | None = None,
+    allowed_hosts: Sequence[int] | None = None,
+) -> PlacementPlan:
     """BFD: place each VM on the feasible host with least remaining room.
 
     Tighter packings on heterogeneous demand mixes; same worst case.
+
+    Two keyword extensions serve incremental re-consolidation (the dynamic
+    control loop): ``into`` starts from a *copy* of an existing plan
+    instead of an empty one, and ``allowed_hosts`` restricts candidate
+    hosts to the given indices — in that mode no new hosts are opened and
+    a VM that fits nowhere raises ``ValueError`` (the caller decides
+    whether to abort the shrink or boot capacity).  With both omitted the
+    behaviour is the classic from-scratch packing.
     """
-    plan = PlacementPlan()
+    plan = PlacementPlan() if into is None else into.copy()
+    taken = set(plan.assignments)
     for vm in _sorted_vms(vms):
+        if vm.name in taken:
+            raise ValueError(f"VM {vm.name!r} is already placed in the base plan")
+    for vm in _sorted_vms(vms):
+        candidates = (
+            range(plan.hosts_used) if allowed_hosts is None else allowed_hosts
+        )
         best_host = -1
         best_room = float("inf")
-        for host in range(plan.hosts_used):
+        for host in candidates:
+            if host >= plan.hosts_used:
+                raise ValueError(
+                    f"allowed host {host} does not exist in the base plan"
+                )
             load = plan.host_loads[host]
             if not _fits(load, vm):
                 continue
@@ -151,6 +192,10 @@ def best_fit_decreasing(vms: Sequence[VmDemand]) -> PlacementPlan:
                 best_room = room
                 best_host = host
         if best_host < 0:
+            if allowed_hosts is not None:
+                raise ValueError(
+                    f"no allowed host has room for VM {vm.name!r}"
+                )
             plan.host_loads.append({})
             best_host = plan.hosts_used - 1
         _place(plan, best_host, vm)

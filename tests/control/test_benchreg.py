@@ -1,0 +1,28 @@
+"""The registered control-loop benchmark workload stays deterministic.
+
+The CI bench job times ``run_week``; this pin makes sure the workload it
+times is the same one across machines and sessions — the ledger at seed
+2009 is part of the determinism contract, like the golden summaries.
+"""
+
+from repro.control.benchreg import bench_controller_week, run_week
+from repro.obs.bench import registered_benchmarks
+
+
+class TestWeekWorkload:
+    def test_ledger_is_pinned_at_seed_2009(self):
+        ledger = run_week(seed=2009)
+        assert ledger == {
+            "ticks": 336,
+            "boots": 3279,
+            "shutdowns": 3243,
+            "migrations": 44,
+        }
+
+    def test_seed_changes_the_ledger(self):
+        assert run_week(seed=7) != run_week(seed=2009)
+
+    def test_bench_entry_is_registered(self):
+        names = {b.name for b in registered_benchmarks()}
+        assert "control_loop::week_1000_hosts" in names
+        assert bench_controller_week() == run_week()

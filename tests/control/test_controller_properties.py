@@ -1,0 +1,160 @@
+"""Property-based hardening of the control loop (the PR's test pass).
+
+Three invariants from the ISSUE, over random traffic and scaling storms:
+
+- **no flapping** — a host powered down is not booted again within
+  ``hold_periods`` control ticks unless an overload alarm fired in
+  between;
+- **migration conservation** — every VM evicted by a draining shutdown
+  lands on exactly one surviving host, and no VM is ever lost or
+  duplicated;
+- **capacity safety** — no intermediate placement overcommits a host:
+  destination capacity is reserved while migrations are in flight, and
+  VMs only ever sit on powered hosts.
+
+Plus the ``hold_periods`` boundary pin shared with
+``tests/core/test_dynamic_properties.py``: the first shutdown lands
+exactly ``hold_periods`` periods after demand drops, never earlier.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.controller import ConsolidationController
+from repro.control.fleet import FleetState
+from repro.core.dynamic import DynamicCapacityPlanner
+from repro.core.inputs import ResourceKind, ServiceSpec
+from repro.core.power import ServerPowerModel
+from repro.virtualization.placement import VmDemand
+
+CPU = ResourceKind.CPU
+MU = 2.0
+
+# Rates drawn from a small lattice so the Erlang cache carries the load
+# across examples (the analytic model runs once per distinct rate).
+rate_values = st.sampled_from([1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0])
+rate_seqs = st.lists(rate_values, min_size=6, max_size=24)
+
+
+def _planner(hold_periods: int = 1) -> DynamicCapacityPlanner:
+    return DynamicCapacityPlanner(
+        [ServiceSpec("svc", 1.0, {CPU: MU}, {CPU: 1.0})],
+        0.02,
+        power_model=ServerPowerModel(),
+        period_length=1800.0,
+        hold_periods=hold_periods,
+    )
+
+
+def _fleet(n_vms: int = 4) -> FleetState:
+    vms = [VmDemand(f"vm-{i}", {CPU: 0.25}) for i in range(n_vms)]
+    return FleetState(24, vms, initial_on=6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rate_seqs, st.integers(min_value=0, max_value=3))
+def test_no_flapping_without_overload(rates, hold):
+    """A shutdown is never undone within hold_periods absent an overload."""
+    planner = _planner(hold_periods=hold)
+    fleet = _fleet()
+    controller = ConsolidationController(planner, fleet)
+    powered_before = set(fleet.powered_hosts())
+    shut_at: dict[int, int] = {}  # host -> tick of its last shutdown
+    overload_fires: list[int] = []
+    for i, rate in enumerate(rates):
+        r = {"svc": rate}
+        controller.observe(0.5 * i, r, busy=planner.offered_load(r))
+        if controller.events and any(
+            e.kind == "overload" and e.state == "fire" and e.t == 0.5 * i
+            for e in controller.events
+        ):
+            overload_fires.append(i)
+        powered_after = set(fleet.powered_hosts())
+        for host in powered_before - powered_after:
+            shut_at[host] = i
+        for host in powered_after - powered_before:
+            if host in shut_at and i - shut_at[host] <= hold:
+                assert any(
+                    shut_at[host] < f <= i for f in overload_fires
+                ), (
+                    f"host {host} rebooted {i - shut_at[host]} ticks after "
+                    f"shutdown with no overload fire (hold={hold})"
+                )
+        powered_before = powered_after
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["up", "down"]), st.integers(1, 6)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.integers(min_value=2, max_value=14),
+)
+def test_migration_conservation_and_capacity_safety(steps, n_vms):
+    """Scaling storms never lose, duplicate, or overcommit a VM."""
+    vms = [VmDemand(f"vm-{i}", {CPU: 0.3}) for i in range(n_vms)]
+    fleet = FleetState(12, vms, initial_on=min(8, max(n_vms, 2)))
+    names = {vm.name for vm in vms}
+    for direction, count in steps:
+        if direction == "up":
+            scale = fleet.scale_up(count)
+            assert scale.migrations == ()
+        else:
+            scale = fleet.scale_down(count)
+            # Conservation: each evicted VM moves exactly once, off the
+            # victim, onto a host that is still powered.
+            moved = [m.vm for m in scale.migrations]
+            assert len(moved) == len(set(moved))
+            for move in scale.migrations:
+                assert move.source in scale.hosts
+                assert move.target not in scale.hosts
+                assert fleet.powered[move.target]
+                assert fleet.plan.assignments[move.vm] == move.target
+        # Safety: every VM still placed, exactly once, on a powered host,
+        # and no host over capacity.
+        assert set(fleet.plan.assignments) == names
+        fleet.plan.validate()
+        for vm, host in fleet.plan.assignments.items():
+            assert fleet.powered[host], (vm, host)
+        assert fleet.powered_count >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=1, max_value=4),
+)
+def test_hold_periods_boundary_is_exact(hold, high_len):
+    """planner.plan shrinks exactly hold periods after the drop, not before.
+
+    ``below_since > hold_periods`` with the streak already 1 in the drop
+    period puts the first shutdown at index ``drop + hold`` — the audit
+    the ISSUE asked for found no off-by-one, and this pins it.
+    """
+    planner = _planner(hold_periods=hold)
+    high = {"svc": 12.0}
+    low = {"svc": 2.0}
+    profile = [high] * high_len + [low] * (hold + 3)
+    plan = planner.plan(profile)
+    drop = high_len
+    shut_periods = [p.period for p in plan.periods if p.shut_down > 0]
+    assert shut_periods == [drop + hold]
+    # Before the boundary the peak fleet stays on; at it, the low size.
+    for p in plan.periods[drop : drop + hold]:
+        assert p.servers_on == plan.periods[0].servers_on
+    assert plan.periods[drop + hold].servers_on == planner.servers_needed(low)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rate_seqs)
+def test_controller_never_darkens_and_meets_floor(rates):
+    planner = _planner()
+    fleet = _fleet(n_vms=8)
+    controller = ConsolidationController(planner, fleet)
+    for i, rate in enumerate(rates):
+        r = {"svc": rate}
+        d = controller.observe(0.5 * i, r, busy=planner.offered_load(r))
+        assert d.servers_after >= max(1, fleet.packing_floor)
+        assert d.servers_after == fleet.powered_count

@@ -1,0 +1,144 @@
+"""FleetState: placement-aware boots and draining shutdowns."""
+
+import pytest
+
+from repro.control.fleet import FleetState
+from repro.core.inputs import ResourceKind
+from repro.virtualization.placement import VmDemand
+
+CPU = ResourceKind.CPU
+
+
+def _vms(count: int, slice_: float = 0.25) -> list[VmDemand]:
+    return [VmDemand(f"vm-{i}", {CPU: slice_}) for i in range(count)]
+
+
+class TestConstruction:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FleetState(0, [], initial_on=1)
+        with pytest.raises(ValueError):
+            FleetState(4, [], initial_on=0)
+        with pytest.raises(ValueError):
+            FleetState(4, [], initial_on=5)
+        with pytest.raises(ValueError):
+            FleetState(4, [], initial_on=2, placement="bogus")
+
+    def test_spread_distributes_across_initial_hosts(self):
+        fleet = FleetState(8, _vms(8), initial_on=4)
+        hosts_used = set(fleet.plan.assignments.values())
+        assert hosts_used == {0, 1, 2, 3}
+        assert fleet.powered_count == 4
+        # Worst-fit: 8 quarter-VMs over 4 hosts -> 2 each.
+        for host in hosts_used:
+            assert len(fleet.vms_on(host)) == 2
+
+    def test_packed_starts_at_the_bfd_packing(self):
+        fleet = FleetState(8, _vms(8), initial_on=4, placement="packed")
+        # 8 * 0.25 = 2 full hosts.
+        assert set(fleet.plan.assignments.values()) == {0, 1}
+        assert fleet.packing_floor == 2
+
+    def test_spread_raises_when_vms_do_not_fit(self):
+        with pytest.raises(ValueError, match="no powered host has room"):
+            FleetState(8, _vms(10), initial_on=2)
+
+    def test_empty_inventory_is_fine(self):
+        fleet = FleetState(4, [], initial_on=2)
+        assert fleet.packing_floor == 0
+        assert fleet.plan.assignments == {}
+
+
+class TestScaleUp:
+    def test_boots_lowest_index_off_hosts_without_migrations(self):
+        fleet = FleetState(6, _vms(4), initial_on=2)
+        scale = fleet.scale_up(3)
+        assert scale.direction == "up"
+        assert scale.requested == 3
+        assert scale.completed == 3
+        assert scale.hosts == (2, 3, 4)
+        assert scale.migrations == ()
+        assert fleet.powered_count == 5
+
+    def test_clamps_at_the_host_universe(self):
+        fleet = FleetState(4, _vms(4), initial_on=3)
+        scale = fleet.scale_up(10)
+        assert scale.requested == 10
+        assert scale.completed == 1
+        assert fleet.powered_count == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FleetState(4, [], initial_on=1).scale_up(-1)
+
+
+class TestScaleDown:
+    def test_empty_hosts_shut_down_free(self):
+        fleet = FleetState(6, _vms(4), initial_on=2)
+        fleet.scale_up(3)  # hosts 2..4 join empty
+        scale = fleet.scale_down(2)
+        assert scale.completed == 2
+        assert scale.migrations == ()
+        # Later-booted (higher-index) empty hosts retire first.
+        assert scale.hosts == (4, 3)
+        assert fleet.powered_count == 3
+
+    def test_draining_shutdown_migrates_and_lands_every_vm_once(self):
+        fleet = FleetState(4, _vms(8), initial_on=4)  # 2 VMs per host
+        scale = fleet.scale_down(1)
+        assert scale.completed == 1
+        victim = scale.hosts[0]
+        assert len(scale.migrations) == 2
+        assert {m.source for m in scale.migrations} == {victim}
+        # Every evicted VM has exactly one move and lands on a survivor.
+        moved = [m.vm for m in scale.migrations]
+        assert len(moved) == len(set(moved))
+        for move in scale.migrations:
+            assert fleet.plan.assignments[move.vm] == move.target
+            assert move.target != victim
+            assert fleet.powered[move.target]
+        assert not fleet.powered[victim]
+        fleet.plan.validate()
+
+    def test_never_darkens_the_fleet(self):
+        fleet = FleetState(4, [], initial_on=2)
+        scale = fleet.scale_down(5)
+        assert scale.requested == 5
+        assert scale.completed == 1
+        assert fleet.powered_count == 1
+        again = fleet.scale_down(1)
+        assert again.completed == 0
+        assert fleet.powered_count == 1
+
+    def test_undrainable_hosts_stay_powered(self):
+        # Every host 90% full: no survivor can absorb another 0.9 VM.
+        fleet = FleetState(3, _vms(3, slice_=0.9), initial_on=3)
+        scale = fleet.scale_down(2)
+        assert scale.completed == 0
+        assert fleet.powered_count == 3
+        fleet.plan.validate()
+
+    def test_capacity_safety_through_a_scaling_storm(self):
+        fleet = FleetState(10, _vms(12, slice_=0.3), initial_on=8)
+        for step in (3, -4, 2, -5, 4, -2):
+            if step > 0:
+                fleet.scale_up(step)
+            else:
+                fleet.scale_down(-step)
+            fleet.plan.validate()
+            assert fleet.powered_count >= 1
+            # VMs only ever sit on powered hosts.
+            for vm, host in fleet.plan.assignments.items():
+                assert fleet.powered[host], (vm, host)
+
+    def test_deterministic_victim_order(self):
+        a = FleetState(6, _vms(6), initial_on=4)
+        b = FleetState(6, _vms(6), initial_on=4)
+        da = a.scale_down(2)
+        db = b.scale_down(2)
+        assert da.hosts == db.hosts
+        assert da.migrations == db.migrations
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FleetState(4, [], initial_on=2).scale_down(-1)

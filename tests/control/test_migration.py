@@ -1,0 +1,81 @@
+"""The live-migration cost model's arithmetic and validation."""
+
+import pytest
+
+from repro.control.migration import MigrationCost, MigrationCostModel
+from repro.core.power import ServerPowerModel
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vm_memory_gb": 0.0},
+            {"vm_memory_gb": -1.0},
+            {"bandwidth_gbps": 0.0},
+            {"dirty_page_factor": -0.1},
+            {"source_cpu_overhead": -0.1},
+            {"source_cpu_overhead": 1.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            MigrationCostModel(**kwargs)
+
+    def test_defaults_are_valid(self):
+        model = MigrationCostModel()
+        assert model.vm_memory_gb == 4.0
+        assert model.bandwidth_gbps == 10.0
+
+
+class TestArithmetic:
+    def test_data_includes_dirty_page_retransmission(self):
+        model = MigrationCostModel(vm_memory_gb=4.0, dirty_page_factor=0.25)
+        assert model.data_gb == pytest.approx(5.0)
+
+    def test_duration_is_bits_over_bandwidth(self):
+        model = MigrationCostModel(
+            vm_memory_gb=4.0, bandwidth_gbps=10.0, dirty_page_factor=0.25
+        )
+        # 5 GiB * 8 bits / 10 Gb/s = 4 s.
+        assert model.duration_s == pytest.approx(4.0)
+
+    def test_source_energy_uses_dynamic_range_only(self):
+        model = MigrationCostModel(
+            vm_memory_gb=4.0, bandwidth_gbps=10.0,
+            dirty_page_factor=0.25, source_cpu_overhead=0.10,
+        )
+        power = ServerPowerModel(250.0, 295.0)
+        # 45 W dynamic range * 10% * 4 s = 18 J.
+        assert model.source_energy_j(power) == pytest.approx(18.0)
+
+    def test_drain_serialises_on_the_source_nic(self):
+        model = MigrationCostModel()
+        assert model.drain_seconds(3) == pytest.approx(3 * model.duration_s)
+        assert model.drain_seconds(0) == 0.0
+        with pytest.raises(ValueError):
+            model.drain_seconds(-1)
+
+    def test_batch_cost_charges_transfer_plus_drain(self):
+        model = MigrationCostModel(
+            vm_memory_gb=4.0, bandwidth_gbps=10.0,
+            dirty_page_factor=0.25, source_cpu_overhead=0.10,
+        )
+        power = ServerPowerModel(250.0, 295.0)
+        cost = model.batch_cost({0: 2, 3: 1}, power)
+        assert cost.migrations == 3
+        assert cost.data_gb == pytest.approx(15.0)
+        assert cost.duration_s == pytest.approx(12.0)
+        # 3 transfers * 18 J + base 250 W * (8 s + 4 s) drain.
+        assert cost.energy_j == pytest.approx(3 * 18.0 + 250.0 * 12.0)
+
+    def test_empty_batch_is_free(self):
+        cost = MigrationCostModel().batch_cost({}, ServerPowerModel())
+        assert cost.migrations == 0
+        assert cost.energy_j == 0.0
+
+    def test_costs_add(self):
+        a = MigrationCost(1, 5.0, 4.0, 18.0)
+        b = MigrationCost(2, 10.0, 8.0, 36.0)
+        total = a + b
+        assert total == MigrationCost(3, 15.0, 12.0, 54.0)

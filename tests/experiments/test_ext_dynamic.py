@@ -1,0 +1,153 @@
+"""The dynamic-consolidation experiment and its runner integration.
+
+Covers the PR's acceptance criteria: three strategies reported with the
+reactive controller strictly between static and oracle on server-hours,
+the DES loss ties back to the schedule-aware fluid prediction, control
+decisions ride in picklable artifacts (so the export is bit-identical
+across ``--jobs``), and the manifest grows a ``control`` block.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.runner import main
+from repro.obs.timeseries import (
+    load_timeseries_jsonl,
+    validate_timeseries_doc,
+)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-dynamic", seed=2009, fast=True)
+
+    def test_summary_shape(self, result):
+        s = result.summary
+        assert s["fleet_hosts"] >= 100
+        assert s["static_servers"] >= 1
+        assert s["packing_floor"] >= 1
+        assert s["reactive_boots"] > 0 and s["reactive_shutdowns"] > 0
+        assert s["des_days"] >= 1
+        assert 0.0 <= s["des_overall_loss"] <= 1.0
+        assert s["telemetry_series"] > 0
+
+    def test_reactive_lands_strictly_between_static_and_oracle(self, result):
+        s = result.summary
+        assert s["reactive_between"] is True
+        assert (
+            s["oracle_server_hours"]
+            < s["reactive_server_hours"]
+            < s["static_server_hours"]
+        )
+        assert s["saving_vs_static_pct"] > 0.0
+        assert s["regret_vs_oracle_pct"] > 0.0
+
+    def test_migrations_are_counted_and_charged(self, result):
+        s = result.summary
+        assert s["reactive_migrations"] > 0
+        assert s["migration_energy_kwh"] > 0.0
+
+    def test_alarms_drive_the_loop(self, result):
+        s = result.summary
+        assert s["overload_fires"] >= 1
+        assert s["underload_fires"] >= 1
+        assert s["alarm_clears"] >= 1
+
+    def test_des_loss_ties_to_the_fluid_prediction(self, result):
+        s = result.summary
+        assert s["fluid_loss_prediction"] > 0.0
+        assert s["des_loss_vs_fluid"] == pytest.approx(1.0, abs=0.75)
+
+    def test_strategy_rows_cover_all_three(self, result):
+        strategies = {r["strategy"] for r in result.rows}
+        assert {"static", "oracle", "reactive"} <= strategies
+
+    def test_artifacts_carry_valid_timeseries_and_control_docs(self, result):
+        docs = result.artifacts["timeseries"]
+        assert docs
+        for doc in docs:
+            validate_timeseries_doc(doc)
+        series_names = {d["series"] for d in docs if d["kind"] == "series"}
+        assert {
+            "control.pressure",
+            "control.servers_on",
+            "control.servers_needed",
+            "pool.arrivals",
+            "pool.losses",
+        } <= series_names
+        alarm_rules = {d["rule"] for d in docs if d["kind"] == "alarm"}
+        assert {"control-overload", "control-underload"} <= alarm_rules
+
+        control = result.artifacts["control"]
+        phases = {d["phase"] for d in control}
+        assert phases == {"fluid", "des", "summary"}
+        decision_kinds = {d["kind"] for d in control if "kind" in d}
+        assert {"boot", "shutdown"} <= decision_kinds
+
+    def test_deterministic_across_repeat_runs(self, result):
+        again = run_experiment("ext-dynamic", seed=2009, fast=True)
+        assert again.summary == result.summary
+        assert again.artifacts["timeseries"] == result.artifacts["timeseries"]
+        assert again.artifacts["control"] == result.artifacts["control"]
+
+    def test_seed_changes_the_timeline(self, result):
+        other = run_experiment("ext-dynamic", seed=7, fast=True)
+        assert other.artifacts["timeseries"] != result.artifacts["timeseries"]
+
+
+class TestRunnerIntegration:
+    def run_jobs(self, tmp_path, capsys, jobs, *extra):
+        out = tmp_path / f"jobs{jobs}"
+        code = main([
+            "ext-dynamic", "--seed", "2009", "--jobs", str(jobs),
+            "--output", str(out),
+            "--timeseries-out", str(out / "timeseries.jsonl"),
+            *extra,
+        ])
+        capsys.readouterr()
+        assert code == 0
+        return out
+
+    def test_timeseries_bit_identical_across_jobs(self, tmp_path, capsys):
+        texts = {}
+        for jobs in (1, 2, 4):
+            out = self.run_jobs(tmp_path, capsys, jobs)
+            texts[jobs] = (out / "timeseries.jsonl").read_text()
+        assert texts[1] == texts[2] == texts[4]
+        series, alarms = load_timeseries_jsonl(
+            tmp_path / "jobs1" / "timeseries.jsonl"
+        )
+        assert series and alarms
+
+    def test_manifest_records_control_block(self, tmp_path, capsys):
+        out = self.run_jobs(tmp_path, capsys, 1)
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        block = manifest["control"]
+        assert block["decisions"] > 0
+        assert block["boots"] > 0
+        assert block["shutdowns"] > 0
+        assert block["migrations"] > 0
+        assert block["decisions_printed"] is False
+        # The control block must stay out of the reproducibility hash.
+        assert "control" not in manifest["inputs"]
+
+    def test_control_flag_prints_decisions(self, tmp_path, capsys):
+        out = tmp_path / "controlled"
+        code = main([
+            "ext-dynamic", "--seed", "2009",
+            "--output", str(out), "--control",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [
+            ln for ln in captured.out.splitlines()
+            if ln.strip().startswith("control ")
+        ]
+        assert lines, "expected control decision lines with --control"
+        assert any("[fluid]" in ln for ln in lines)
+        assert any("[des]" in ln for ln in lines)
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert manifest["control"]["decisions_printed"] is True

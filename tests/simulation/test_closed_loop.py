@@ -1,0 +1,112 @@
+"""simulate_closed_loop validated against exact MVA (product-form truth).
+
+The closed network with exponential think and service times is
+product-form, so steady-state throughput and per-station utilization from
+the event-driven simulator must converge on the exact-MVA solution — the
+same pairing the paper uses to trust its analytic sizing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.queueing.mva import exact_mva
+from repro.simulation.closed_loop import ClosedLoopResult, simulate_closed_loop
+
+DEMANDS = {"web": 0.05, "app": 0.08, "db": 0.12}
+THINK = 1.0
+
+
+def _run(population=12, horizon=4000.0, seed=7, **kwargs) -> ClosedLoopResult:
+    rng = np.random.default_rng(seed)
+    return simulate_closed_loop(
+        population, THINK, DEMANDS, horizon, rng, **kwargs
+    )
+
+
+class TestAgainstExactMva:
+    def test_throughput_matches(self):
+        result = _run()
+        mva = exact_mva(DEMANDS, THINK, 12)
+        assert result.throughput == pytest.approx(mva.throughput, rel=0.05)
+        assert result.mean_cycle_time == pytest.approx(mva.cycle_time, rel=0.05)
+
+    def test_per_station_utilization_follows_the_utilization_law(self):
+        result = _run()
+        mva = exact_mva(DEMANDS, THINK, 12)
+        expected = mva.utilization(DEMANDS)
+        for station, util in result.per_station_utilization.items():
+            assert util == pytest.approx(expected[station], abs=0.05)
+        # The bottleneck (largest demand) is the busiest station.
+        busiest = max(
+            result.per_station_utilization,
+            key=result.per_station_utilization.get,
+        )
+        assert busiest == "db"
+
+    @pytest.mark.parametrize("population", [1, 4, 30])
+    def test_tracks_mva_across_the_population_sweep(self, population):
+        rng = np.random.default_rng(23)
+        result = simulate_closed_loop(population, THINK, DEMANDS, 4000.0, rng)
+        mva = exact_mva(DEMANDS, THINK, population)
+        assert result.throughput == pytest.approx(mva.throughput, rel=0.08)
+
+    def test_queue_lengths_are_sane(self):
+        result = _run(population=30)
+        mva = exact_mva(DEMANDS, THINK, 30)
+        # Waiting-room sizes track MVA's (queue - in-service) loosely.
+        for station, queue in result.per_station_mean_queue.items():
+            analytic_waiting = (
+                mva.queue_lengths[station]
+                - result.per_station_utilization[station]
+            )
+            assert queue == pytest.approx(analytic_waiting, abs=1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        a = _run(seed=42)
+        b = _run(seed=42)
+        assert a == b
+
+    def test_different_seed_changes_the_sample_path(self):
+        a = _run(seed=42)
+        b = _run(seed=43)
+        assert a.completed_cycles != b.completed_cycles
+
+
+class TestEdges:
+    def test_single_station_single_customer(self):
+        # N=1 never queues: cycle time is exactly Z + D in expectation.
+        rng = np.random.default_rng(5)
+        result = simulate_closed_loop(1, THINK, {"only": 0.2}, 6000.0, rng)
+        mva = exact_mva({"only": 0.2}, THINK, 1)
+        assert result.population == 1
+        assert result.throughput == pytest.approx(mva.throughput, rel=0.05)
+        assert result.per_station_mean_queue["only"] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_zero_think_time_is_allowed(self):
+        rng = np.random.default_rng(9)
+        result = simulate_closed_loop(4, 0.0, {"s": 0.1}, 500.0, rng)
+        # Single station with Z=0 saturates: utilization -> 1.
+        assert result.per_station_utilization["s"] > 0.9
+
+    @pytest.mark.parametrize(
+        "population, think, demands, horizon",
+        [
+            (0, THINK, DEMANDS, 100.0),
+            (-3, THINK, DEMANDS, 100.0),
+            (4, -0.1, DEMANDS, 100.0),
+            (4, THINK, {}, 100.0),
+            (4, THINK, {"s": 0.0}, 100.0),
+            (4, THINK, {"s": -1.0}, 100.0),
+            (4, THINK, DEMANDS, 0.0),
+            (4, THINK, DEMANDS, -5.0),
+        ],
+    )
+    def test_rejects_bad_inputs(self, population, think, demands, horizon):
+        with pytest.raises(ValueError):
+            simulate_closed_loop(
+                population, think, demands, horizon, np.random.default_rng(0)
+            )

@@ -191,3 +191,38 @@ class TestOutputPathErrors:
         assert main([write(tmp_path, VALID_DOC), "--metrics-out", str(target)]) == 0
         capsys.readouterr()
         assert target.exists()
+
+
+class TestControlPreview:
+    def test_text_mode_renders_the_preview_block(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--control"]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic consolidation preview" in out
+        assert "static peak fleet" in out
+        assert "boots" in out and "migrations" in out
+        # The example fleet is tiny, so headroom dominates: the preview
+        # must say so rather than hide a negative saving.
+        assert "note" in out
+
+    def test_json_mode_attaches_control_preview(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--control", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        preview = doc["control_preview"]
+        assert preview["static_peak_servers"] >= 1
+        assert preview["static_server_hours_per_day"] > 0
+        assert preview["reactive_server_hours_per_day"] > 0
+        assert preview["boots"] >= 0 and preview["shutdowns"] >= 0
+        if preview["saving_pct"] <= 0:
+            assert "note" in preview
+
+    def test_preview_is_deterministic(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--control", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)["control_preview"]
+        assert main([write(tmp_path, VALID_DOC), "--control", "--json"]) == 0
+        again = json.loads(capsys.readouterr().out)["control_preview"]
+        assert first == again
+
+    def test_without_flag_no_preview(self, tmp_path, capsys):
+        assert main([write(tmp_path, VALID_DOC), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "control_preview" not in doc

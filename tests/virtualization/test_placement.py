@@ -217,3 +217,93 @@ class TestMigrationSequencing:
         tgt = self._manual_plan({"a": 1, "b": 0}, self.make_demands({"a": 0.5, "b": 0.5}))
         with pytest.raises(ValueError):
             plan_migration_sequence(cur, tgt, demands)
+
+
+class TestIncrementalBfd:
+    """The ``into``/``allowed_hosts`` extensions behind re-consolidation."""
+
+    def base_plan(self):
+        return best_fit_decreasing([vm("a", 0.5), vm("b", 0.5), vm("c", 0.4)])
+
+    def test_into_starts_from_a_copy(self):
+        base = self.base_plan()
+        before = dict(base.assignments)
+        grown = best_fit_decreasing([vm("d", 0.3)], into=base)
+        assert base.assignments == before  # the base plan is untouched
+        assert set(grown.assignments) == {"a", "b", "c", "d"}
+        for name in before:
+            assert grown.assignments[name] == before[name]
+        grown.validate()
+
+    def test_into_rejects_duplicate_vms(self):
+        with pytest.raises(ValueError, match="already placed"):
+            best_fit_decreasing([vm("a", 0.2)], into=self.base_plan())
+
+    def test_allowed_hosts_restricts_candidates(self):
+        base = self.base_plan()
+        survivors = [h for h in range(base.hosts_used) if h != 0]
+        placed = best_fit_decreasing(
+            [vm("d", 0.3)], into=base, allowed_hosts=survivors
+        )
+        assert placed.assignments["d"] in survivors
+
+    def test_allowed_hosts_never_opens_new_hosts(self):
+        base = best_fit_decreasing([vm("a", 0.9), vm("b", 0.9)])
+        with pytest.raises(ValueError, match="no allowed host has room"):
+            best_fit_decreasing(
+                [vm("c", 0.5)], into=base,
+                allowed_hosts=list(range(base.hosts_used)),
+            )
+
+    def test_allowed_hosts_must_exist(self):
+        base = self.base_plan()
+        with pytest.raises(ValueError, match="does not exist"):
+            best_fit_decreasing(
+                [vm("d", 0.1)], into=base, allowed_hosts=[base.hosts_used + 3]
+            )
+
+    def test_classic_behaviour_unchanged_without_keywords(self):
+        vms = [vm("a", 0.5), vm("b", 0.5), vm("c", 0.4)]
+        assert (
+            best_fit_decreasing(vms).assignments
+            == best_fit_decreasing(vms, into=None, allowed_hosts=None).assignments
+        )
+
+
+class TestPlanCopyAndRemove:
+    def test_copy_is_independent(self):
+        plan = best_fit_decreasing([vm("a", 0.5), vm("b", 0.5)])
+        dup = plan.copy()
+        dup.remove(vm("a", 0.5))
+        assert "a" in plan.assignments
+        assert "a" not in dup.assignments
+        plan.validate()
+
+    def test_remove_releases_demand_and_reports_host(self):
+        a = vm("a", 0.6, 0.2)
+        plan = best_fit_decreasing([a, vm("b", 0.5)])
+        host = plan.remove(a)
+        assert plan.host_loads[host].get(CPU, 0.0) == pytest.approx(
+            sum(
+                0.5 for n, h in plan.assignments.items() if h == host
+            )
+        )
+        assert "a" not in plan.assignments
+        # The freed room is reusable.
+        again = best_fit_decreasing([vm("a2", 0.6, 0.2)], into=plan)
+        again.validate()
+
+    def test_remove_clamps_float_drift(self):
+        a = vm("a", 0.3)
+        plan = best_fit_decreasing([a])
+        for _ in range(1000):
+            host = plan.remove(a)
+            best = best_fit_decreasing([a], into=plan)
+            plan = best
+        assert plan.host_loads[plan.assignments["a"]][CPU] >= 0.3 - 1e-9
+        plan.validate()
+
+    def test_remove_missing_vm_raises(self):
+        plan = best_fit_decreasing([vm("a", 0.5)])
+        with pytest.raises(KeyError):
+            plan.remove(vm("ghost", 0.5))
